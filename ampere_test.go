@@ -1,0 +1,237 @@
+package ampere
+
+import (
+	"errors"
+	"io/fs"
+	"testing"
+	"time"
+)
+
+// TestPublicAPIQuickstart exercises the documented quickstart flow.
+func TestPublicAPIQuickstart(t *testing.T) {
+	b, err := NewBoard(BoardConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("NewBoard: %v", err)
+	}
+	b.Run(100 * time.Millisecond)
+	atk, err := NewAttacker(b.Sysfs(), Unprivileged)
+	if err != nil {
+		t.Fatalf("NewAttacker: %v", err)
+	}
+	sensors, err := atk.Discover()
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	if len(sensors) != 18 {
+		t.Fatalf("sensors = %d, want 18", len(sensors))
+	}
+	probe, err := atk.Probe(Channel{Label: SensorFPGA, Kind: Current})
+	if err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	amps, err := probe()
+	if err != nil {
+		t.Fatalf("probe(): %v", err)
+	}
+	if amps <= 0 {
+		t.Fatalf("current = %v", amps)
+	}
+}
+
+func TestPublicPowerVirusLeak(t *testing.T) {
+	b, err := NewBoard(BoardConfig{Seed: 2})
+	if err != nil {
+		t.Fatalf("NewBoard: %v", err)
+	}
+	virus, err := DeployPowerVirus(b)
+	if err != nil {
+		t.Fatalf("DeployPowerVirus: %v", err)
+	}
+	atk, _ := NewAttacker(b.Sysfs(), Unprivileged)
+	probe, err := atk.Probe(Channel{Label: SensorFPGA, Kind: Current})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run(100 * time.Millisecond)
+	idle, _ := probe()
+	if err := virus.SetActiveGroups(100); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(100 * time.Millisecond)
+	busy, _ := probe()
+	// 100 groups ≈ 4 A of extra draw at the Fig. 2 calibration.
+	if busy-idle < 3.5 {
+		t.Fatalf("leak = %v A, want ~4", busy-idle)
+	}
+}
+
+func TestPublicDPUAndClassifier(t *testing.T) {
+	b, err := NewBoard(BoardConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DeployDPU(b)
+	if err != nil {
+		t.Fatalf("DeployDPU: %v", err)
+	}
+	if err := LoadZooModel(d, "ResNet-50"); err != nil {
+		t.Fatalf("LoadZooModel: %v", err)
+	}
+	if err := LoadZooModel(d, "NoSuchNet"); err == nil {
+		t.Fatal("bogus model accepted")
+	}
+	b.Run(300 * time.Millisecond)
+	if d.Inferences() == 0 {
+		t.Fatal("DPU never completed an inference")
+	}
+
+	// Classifier round trip on a tiny capture set.
+	cfg := FingerprintConfig{
+		Models:         []string{"MobileNet-V1", "VGG-19"},
+		TracesPerModel: 4,
+		TraceDuration:  time.Second,
+		Durations:      []time.Duration{time.Second},
+		Folds:          2,
+		Trees:          15,
+		Channels:       []Channel{{Label: SensorFPGA, Kind: Current}},
+	}
+	caps, err := CollectDPUTraces(cfg)
+	if err != nil {
+		t.Fatalf("CollectDPUTraces: %v", err)
+	}
+	clf, err := TrainClassifier(cfg, caps, Channel{Label: SensorFPGA, Kind: Current}, time.Second)
+	if err != nil {
+		t.Fatalf("TrainClassifier: %v", err)
+	}
+	if len(clf.Classes()) != 2 {
+		t.Fatalf("classes = %v", clf.Classes())
+	}
+	guess, err := clf.Classify(caps[0])
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+	if guess != caps[0].Model {
+		t.Fatalf("training-set classification: got %s, want %s", guess, caps[0].Model)
+	}
+	top, err := clf.TopK(caps[len(caps)-1], 2)
+	if err != nil || len(top) != 2 {
+		t.Fatalf("TopK: %v %v", top, err)
+	}
+}
+
+func TestPublicRSA(t *testing.T) {
+	b, err := NewBoard(BoardConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DeployRSA(b, 512, 99)
+	if err != nil {
+		t.Fatalf("DeployRSA: %v", err)
+	}
+	if c.Weight() != 512 {
+		t.Fatalf("Weight = %d", c.Weight())
+	}
+	b.Run(100 * time.Millisecond)
+	if c.Exponentiations() == 0 {
+		t.Fatal("RSA victim idle")
+	}
+	if _, err := DeployRSA(b, 0, 99); err == nil {
+		t.Fatal("weight 0 accepted")
+	}
+}
+
+func TestPublicMitigation(t *testing.T) {
+	res, err := Mitigation(11)
+	if err != nil {
+		t.Fatalf("Mitigation: %v", err)
+	}
+	if !res.Effective() {
+		t.Fatal("mitigation ineffective")
+	}
+	if !errors.Is(res.AfterAttackerErr, fs.ErrPermission) {
+		t.Fatalf("err = %v", res.AfterAttackerErr)
+	}
+}
+
+func TestPublicCatalogAndZoo(t *testing.T) {
+	if got := len(BoardCatalog()); got != 8 {
+		t.Fatalf("catalog = %d", got)
+	}
+	if got := len(ModelZoo()); got != 39 {
+		t.Fatalf("zoo = %d", got)
+	}
+	if got := len(Fig3Models()); got != 6 {
+		t.Fatalf("fig3 models = %d", got)
+	}
+	if got := len(SensitiveChannels()); got != 6 {
+		t.Fatalf("sensitive channels = %d", got)
+	}
+}
+
+func TestPublicCharacterizeSmall(t *testing.T) {
+	res, err := Characterize(CharacterizeConfig{Levels: 6, SamplesPerLevel: 5})
+	if err != nil {
+		t.Fatalf("Characterize: %v", err)
+	}
+	if len(res.Readings) != 6 {
+		t.Fatalf("readings = %d", len(res.Readings))
+	}
+	if res.Current.Pearson < 0.99 {
+		t.Fatalf("current Pearson = %v", res.Current.Pearson)
+	}
+}
+
+func TestPublicCrossBoard(t *testing.T) {
+	b, err := NewBoardByName("VEK280", BoardConfig{Seed: 6})
+	if err != nil {
+		t.Fatalf("NewBoardByName: %v", err)
+	}
+	if b.Spec().Name != "VEK280" {
+		t.Fatalf("Spec = %+v", b.Spec())
+	}
+	if b.SensorCount() != 20 {
+		t.Fatalf("sensors = %d, want 20 (Table I)", b.SensorCount())
+	}
+	b.Run(100 * time.Millisecond)
+	atk, _ := NewAttacker(b.Sysfs(), Unprivileged)
+	rows, err := Survey(b, atk, 500*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Survey: %v", err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("survey rows = %d", len(rows))
+	}
+	if _, err := NewBoardByName("NoSuchBoard", BoardConfig{}); err == nil {
+		t.Fatal("unknown board accepted")
+	}
+}
+
+func TestPublicLeakageAssessment(t *testing.T) {
+	res, err := AssessRSALeakage(LeakageConfig{SamplesPerSession: 300, RandomSessions: 2})
+	if err != nil {
+		t.Fatalf("AssessRSALeakage: %v", err)
+	}
+	if !res.TVLA.Leaks {
+		t.Fatalf("channel did not leak (t=%v)", res.TVLA.T)
+	}
+}
+
+func TestPublicApplicability(t *testing.T) {
+	rows, err := Applicability(ApplicabilityConfig{Levels: 4, SamplesPerLevel: 4})
+	if err != nil {
+		t.Fatalf("Applicability: %v", err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestPublicRSAHammingWeightSmall(t *testing.T) {
+	res, err := RSAHammingWeight(RSAConfig{Weights: []int{1, 1024}, Samples: 300})
+	if err != nil {
+		t.Fatalf("RSAHammingWeight: %v", err)
+	}
+	if res.Keys[0].Current.Median >= res.Keys[1].Current.Median {
+		t.Fatal("HW 1 should draw less than HW 1024")
+	}
+}

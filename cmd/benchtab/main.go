@@ -1,0 +1,155 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation on the simulated ZCU102 and prints them as text artifacts.
+//
+// Usage:
+//
+//	benchtab -exp all                 # everything, reduced budgets
+//	benchtab -exp fig2 -samples 200   # Fig. 2 with more averaging
+//	benchtab -exp table3 -traces 12 -paper-scale
+//
+// The -paper-scale flag raises the capture budgets to the paper's
+// (10,000 samples per level for Fig. 2; 100,000 samples per key for
+// Fig. 4); expect long runtimes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment: table1|table2|fig2|fig3|table3|fig4|applicability|tvla|mitigation|all")
+		seed       = flag.Int64("seed", 1, "root seed for every experiment")
+		samples    = flag.Int("samples", 0, "samples per level (fig2) / per key (fig4); 0 = default budget")
+		traces     = flag.Int("traces", 10, "traces per model for table3")
+		paperScale = flag.Bool("paper-scale", false, "use the paper's full capture budgets (slow)")
+	)
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		switch *exp {
+		case name, "all":
+			if err := f(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+
+	run("table1", func() error {
+		return report.RenderTableI(os.Stdout, board.Catalog())
+	})
+	run("table2", func() error {
+		return report.RenderTableII(os.Stdout, board.SensitiveSensors())
+	})
+	run("fig2", func() error {
+		n := *samples
+		if n == 0 {
+			n = 20
+		}
+		if *paperScale {
+			n = 10000
+		}
+		res, err := core.Characterize(core.CharacterizeConfig{Seed: *seed, SamplesPerLevel: n})
+		if err != nil {
+			return err
+		}
+		return report.RenderFig2(os.Stdout, res)
+	})
+	run("fig3", func() error {
+		channels := []core.Channel{
+			{Label: board.SensorCPUFull, Kind: core.Current},
+			{Label: board.SensorCPULow, Kind: core.Current},
+			{Label: board.SensorFPGA, Kind: core.Current},
+			{Label: board.SensorDDR, Kind: core.Current},
+		}
+		caps, err := core.CollectDPUTraces(core.FingerprintConfig{
+			Seed:           *seed,
+			Models:         []string{"MobileNet-V1", "SqueezeNet-1.1", "EfficientNet-Lite0", "Inception-V3", "ResNet-50", "VGG-19"},
+			TracesPerModel: 1,
+			TraceDuration:  5 * time.Second,
+			Durations:      []time.Duration{5 * time.Second},
+			Folds:          1,
+			Channels:       channels,
+		})
+		if err != nil {
+			return err
+		}
+		return report.RenderFig3(os.Stdout, caps, channels)
+	})
+	run("table3", func() error {
+		res, err := core.Fingerprint(core.FingerprintConfig{
+			Seed:           *seed,
+			TracesPerModel: *traces,
+		})
+		if err != nil {
+			return err
+		}
+		return report.RenderTableIII(os.Stdout, res, core.SensitiveChannels(),
+			[]time.Duration{time.Second, 2 * time.Second, 3 * time.Second,
+				4 * time.Second, 5 * time.Second})
+	})
+	run("fig4", func() error {
+		n := *samples
+		if n == 0 {
+			n = 5000
+		}
+		if *paperScale {
+			n = 100000
+		}
+		res, err := core.RSAHammingWeight(core.RSAConfig{Seed: *seed, Samples: n})
+		if err != nil {
+			return err
+		}
+		return report.RenderFig4(os.Stdout, res)
+	})
+	run("applicability", func() error {
+		rows, err := core.Applicability(core.ApplicabilityConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		return report.RenderApplicability(os.Stdout, rows)
+	})
+	run("tvla", func() error {
+		plain, err := core.AssessRSALeakage(core.LeakageConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		ladder, err := core.AssessRSALeakage(core.LeakageConfig{Seed: *seed, Countermeasure: true})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("TVLA fixed-vs-random over FPGA current:\n")
+		fmt.Printf("  square-and-multiply victim: t=%+.1f leaks=%v SNR=%.0f\n",
+			plain.TVLA.T, plain.TVLA.Leaks, plain.SNR)
+		fmt.Printf("  Montgomery-ladder victim:   t=%+.1f leaks=%v SNR=%.2f\n",
+			ladder.TVLA.T, ladder.TVLA.Leaks, ladder.SNR)
+		return nil
+	})
+	run("mitigation", func() error {
+		res, err := core.Mitigation(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Mitigation (Sec. V): before: attacker reads %.3f A; after restriction: attacker error %q; root still reads %.3f A; effective=%v\n",
+			res.BeforeAttacker, res.AfterAttackerErr, res.AfterRoot, res.Effective())
+		return nil
+	})
+
+	switch *exp {
+	case "table1", "table2", "fig2", "fig3", "table3", "fig4",
+		"applicability", "tvla", "mitigation", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

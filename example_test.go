@@ -1,0 +1,70 @@
+package ampere_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	ampere "repro"
+)
+
+// The core observation: an unprivileged process reads the FPGA's
+// current sensor through hwmon and sees a victim circuit light up.
+func Example() {
+	b, err := ampere.NewBoard(ampere.BoardConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	atk, err := ampere.NewAttacker(b.Sysfs(), ampere.Unprivileged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sensors, err := atk.Discover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovered %d INA226 sensors without privileges\n", len(sensors))
+
+	virus, err := ampere.DeployPowerVirus(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe, err := atk.Probe(ampere.Channel{Label: ampere.SensorFPGA, Kind: ampere.Current})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b.Run(100 * time.Millisecond)
+	idle, _ := probe()
+	if err := virus.SetActiveGroups(100); err != nil {
+		log.Fatal(err)
+	}
+	b.Run(100 * time.Millisecond)
+	busy, _ := probe()
+	fmt.Printf("victim on: current rose by about %.0f A\n", busy-idle)
+	// Output:
+	// discovered 18 INA226 sensors without privileges
+	// victim on: current rose by about 4 A
+}
+
+// The covert-channel use of the sensor: error-free on-off keying at the
+// hwmon update rate.
+func ExampleCovertTransmit() {
+	res, err := ampere.CovertTransmit(ampere.CovertConfig{PayloadBits: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sent %d bits, %d errors\n", res.BitsSent, res.BitErrors)
+	// Output:
+	// sent 64 bits, 0 errors
+}
+
+// The Sec. V mitigation: root-only sensors stop the unprivileged attack.
+func ExampleMitigation() {
+	res, err := ampere.Mitigation(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mitigation effective: %v\n", res.Effective())
+	// Output:
+	// mitigation effective: true
+}

@@ -1,0 +1,50 @@
+// Leakage assessment: the defender's view. Before shipping a bitstream,
+// run the standard TVLA fixed-vs-random test against the sensor
+// interface an attacker would use. The square-and-multiply RSA circuit
+// fails catastrophically; the Montgomery-ladder build passes — and the
+// same harness then quantifies what the attacker's recovered Hamming
+// weight is worth in brute-force bits.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("TVLA fixed-vs-random over the FPGA current channel (threshold |t| = 4.5):")
+
+	plain, err := ampere.AssessRSALeakage(ampere.LeakageConfig{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  square-and-multiply victim: t = %+8.1f  leaks = %-5v  SNR = %.0f\n",
+		plain.TVLA.T, plain.TVLA.Leaks, plain.SNR)
+
+	ladder, err := ampere.AssessRSALeakage(ampere.LeakageConfig{Seed: 5, Countermeasure: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  Montgomery-ladder victim:   t = %+8.1f  leaks = %-5v  SNR = %.2f\n",
+		ladder.TVLA.T, ladder.TVLA.Leaks, ladder.SNR)
+
+	if plain.TVLA.Leaks && !ladder.TVLA.Leaks {
+		fmt.Println("\nverdict: the ladder build is safe to ship against this channel;")
+		fmt.Println("the naive build leaks its key's Hamming weight. What that costs:")
+	}
+
+	res, err := ampere.RSAHammingWeight(ampere.RSAConfig{
+		Seed:    5,
+		Weights: []int{64, 256, 512},
+		Samples: 1500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, k := range res.Keys {
+		fmt.Printf("  recovered HW %4d -> brute-force search space shrinks by %6.1f bits\n",
+			k.Weight, k.SearchSpaceReductionBits)
+	}
+}

@@ -1,0 +1,68 @@
+// Mitigation (Sec. V): restricting the hwmon value attributes to root
+// blocks the unprivileged attack while keeping privileged monitoring
+// alive — along with the deployment caveats the paper discusses.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	board, err := ampere.NewBoard(ampere.BoardConfig{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	board.Run(100 * time.Millisecond)
+
+	attacker, err := ampere.NewAttacker(board.Sysfs(), ampere.Unprivileged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe, err := attacker.Probe(ampere.Channel{
+		Label: ampere.SensorFPGA, Kind: ampere.Current,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, err := probe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before: unprivileged attacker reads FPGA current = %.3f A\n", before)
+
+	// The administrator flips the sensitive attributes to mode 0400.
+	if err := board.Hwmon().RestrictAllToRoot(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := probe(); err != nil {
+		fmt.Printf("after:  unprivileged read fails: %v\n", err)
+	} else {
+		log.Fatal("mitigation did not take effect")
+	}
+
+	// Benign root-level monitoring keeps working...
+	admin, err := ampere.NewAttacker(board.Sysfs(), ampere.Privileged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rootProbe, err := admin.Probe(ampere.Channel{
+		Label: ampere.SensorFPGA, Kind: ampere.Current,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := rootProbe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after:  root monitoring still reads              = %.3f A\n", v)
+
+	// ...but, as the paper notes, unprivileged *benign* consumers break
+	// too: a userspace health daemon using the same interface now fails.
+	fmt.Println("note:   unprivileged benign monitors lose the interface as well,")
+	fmt.Println("        and legacy devices need a kernel/driver update to get this fix.")
+}

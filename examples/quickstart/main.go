@@ -1,0 +1,77 @@
+// Quickstart: the AmpereBleed observation in ~50 lines.
+//
+// An unprivileged process on the ARM cores reads the FPGA's INA226
+// current sensor through hwmon and watches a victim circuit light up —
+// no crafted circuit, no shared-PDN assumption, no privileges.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	// The "hardware": a simulated ZCU102 evaluation board.
+	board, err := ampere.NewBoard(ampere.BoardConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	board.Run(100 * time.Millisecond) // let the sensors latch
+
+	// The attacker: an unprivileged process discovering hwmon sensors.
+	attacker, err := ampere.NewAttacker(board.Sysfs(), ampere.Unprivileged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sensors, err := attacker.Discover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovered %d INA226 sensors without privileges\n", len(sensors))
+
+	probe, err := attacker.Probe(ampere.Channel{
+		Label: ampere.SensorFPGA,
+		Kind:  ampere.Current,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	idle, err := probe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("idle FPGA current:   %.3f A\n", idle)
+
+	// The victim: a bitstream deployed with full control of the fabric.
+	virus, err := ampere.DeployPowerVirus(board)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := virus.SetActiveGroups(80); err != nil { // 80k instances
+		log.Fatal(err)
+	}
+	board.Run(100 * time.Millisecond)
+	busy, err := probe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("busy FPGA current:   %.3f A (victim: 80k active instances)\n", busy)
+	fmt.Printf("leak: +%.0f mA, i.e. ~%.0f sensor LSBs — while the stabilized\n",
+		(busy-idle)*1000, (busy-idle)*1000)
+
+	volts, err := attacker.Probe(ampere.Channel{
+		Label: ampere.SensorFPGA,
+		Kind:  ampere.Voltage,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := volts()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("supply voltage sits at %.4f V, pinned inside 0.825-0.876 V\n", v)
+}

@@ -1,0 +1,69 @@
+// RSA Hamming-weight recovery (Sec. IV-C): an RSA-1024 circuit with a
+// secret exponent embedded in its (encrypted) bitstream repeatedly
+// encrypts random plaintexts at 100 MHz. The square-and-multiply
+// control flow activates the multiply module only on 1-bits, so the
+// FPGA current sensor leaks the key's Hamming weight — knowledge that
+// shrinks brute-force search space and seeds statistical key-recovery
+// attacks.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	// First, watch the leak directly on one victim.
+	board, err := ampere.NewBoard(ampere.BoardConfig{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	circuit, err := ampere.DeployRSA(board, 512, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker, err := ampere.NewAttacker(board.Sysfs(), ampere.Unprivileged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe, err := attacker.Probe(ampere.Channel{
+		Label: ampere.SensorFPGA, Kind: ampere.Current,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	board.Run(200 * time.Millisecond)
+	var samples []float64
+	for i := 0; i < 200; i++ {
+		board.Run(time.Millisecond) // 1 kHz attacker loop
+		v, err := probe()
+		if err != nil {
+			log.Fatal(err)
+		}
+		samples = append(samples, v)
+	}
+	med, err := stats.Quantile(samples, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("victim HW=512: %d exponentiations completed, median FPGA current %.4f A\n",
+		circuit.Exponentiations(), med)
+
+	// Then the full Fig. 4 sweep: 17 keys, weights 1..1024.
+	res, err := ampere.RSAHammingWeight(ampere.RSAConfig{Seed: 7, Samples: 3000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nweight -> median current (A) / median power (W):")
+	for _, k := range res.Keys {
+		fmt.Printf("  HW %4d: %.4f A   %.3f W\n", k.Weight, k.Current.Median, k.Power.Median)
+	}
+	fmt.Printf("\ncurrent channel resolves %d/%d weights (paper: all 17)\n",
+		res.CurrentGroups, len(res.Keys))
+	fmt.Printf("power channel resolves only %d groups (paper: ~5)\n", res.PowerGroups)
+	fmt.Printf("current-vs-weight Pearson: %.4f\n", res.CurrentPearson)
+}

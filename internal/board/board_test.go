@@ -1,0 +1,276 @@
+package board
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/sysfs"
+)
+
+func TestCatalogMatchesTableI(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 8 {
+		t.Fatalf("catalog size = %d, want 8", len(cat))
+	}
+	wantSensors := map[string]int{
+		"ZCU102": 18, "ZCU111": 14, "ZCU216": 14, "ZCU1285": 21,
+		"VEK280": 20, "VCK190": 17, "VHK158": 22, "VPK180": 19,
+	}
+	for _, s := range cat {
+		if got := wantSensors[s.Name]; got != s.INASensors {
+			t.Errorf("%s sensors = %d, want %d", s.Name, s.INASensors, got)
+		}
+		if s.INASensors == 0 {
+			t.Errorf("%s has no sensors (breaks applicability claim)", s.Name)
+		}
+		switch s.Family {
+		case FamilyZynqUltraScale:
+			if s.VoltageBand != BandZynqUltraScale || s.CPUModel != "Cortex-A53" {
+				t.Errorf("%s: wrong US+ row: %+v", s.Name, s)
+			}
+		case FamilyVersal:
+			if s.VoltageBand != BandVersal || s.CPUModel != "Cortex-A72" {
+				t.Errorf("%s: wrong Versal row: %+v", s.Name, s)
+			}
+		default:
+			t.Errorf("%s: unknown family %q", s.Name, s.Family)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s, ok := Lookup("ZCU102")
+	if !ok || s.PriceUSD != 3234 || s.DRAMGB != 4 {
+		t.Fatalf("Lookup(ZCU102) = %+v, %v", s, ok)
+	}
+	if _, ok := Lookup("nonexistent"); ok {
+		t.Fatal("Lookup false positive")
+	}
+}
+
+func TestSensitiveSensorsTableII(t *testing.T) {
+	rows := SensitiveSensors()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	want := []string{"ina226_u76", "ina226_u77", "ina226_u79", "ina226_u93"}
+	for i, r := range rows {
+		if r.Label != want[i] {
+			t.Errorf("row %d label = %s, want %s", i, r.Label, want[i])
+		}
+		if r.Monitors == "" {
+			t.Errorf("row %d has no description", i)
+		}
+	}
+}
+
+func newBoard(t *testing.T) *ZCU102 {
+	t.Helper()
+	b, err := NewZCU102(Config{Seed: 42})
+	if err != nil {
+		t.Fatalf("NewZCU102: %v", err)
+	}
+	return b
+}
+
+func TestBoardHas18Sensors(t *testing.T) {
+	b := newBoard(t)
+	if b.SensorCount() != 18 {
+		t.Fatalf("SensorCount = %d, want 18 (Table I)", b.SensorCount())
+	}
+	if got := len(b.Hwmon().Entries()); got != 18 {
+		t.Fatalf("hwmon entries = %d, want 18", got)
+	}
+}
+
+func TestBoardAccessors(t *testing.T) {
+	b := newBoard(t)
+	for _, id := range []RailID{RailFPGA, RailCPUFull, RailCPULow, RailDDR} {
+		if _, err := b.Rail(id); err != nil {
+			t.Errorf("Rail(%s): %v", id, err)
+		}
+		if _, err := b.Regulator(id); err != nil {
+			t.Errorf("Regulator(%s): %v", id, err)
+		}
+	}
+	if _, err := b.Rail("bogus"); err == nil {
+		t.Error("bogus rail accepted")
+	}
+	if _, err := b.Regulator("bogus"); err == nil {
+		t.Error("bogus regulator accepted")
+	}
+	for _, label := range []string{SensorCPUFull, SensorCPULow, SensorFPGA, SensorDDR} {
+		if _, err := b.Sensor(label); err != nil {
+			t.Errorf("Sensor(%s): %v", label, err)
+		}
+	}
+	if _, err := b.Sensor("ina226_u99"); err == nil {
+		t.Error("bogus sensor accepted")
+	}
+	if b.CPUFull() == nil || b.CPULow() == nil || b.DDR() == nil || b.Fabric() == nil {
+		t.Error("nil subsystem accessor")
+	}
+}
+
+func TestIdleBoardBaseline(t *testing.T) {
+	b := newBoard(t)
+	b.Run(100 * time.Millisecond) // a couple of update intervals
+	dev, _ := b.Sensor(SensorFPGA)
+	r := dev.Read()
+	if r.Updates == 0 {
+		t.Fatal("FPGA sensor never latched")
+	}
+	// Idle fabric: only the static current, ~0.55 A.
+	if math.Abs(r.CurrentAmps-fpgaStaticAmps) > 0.05 {
+		t.Fatalf("idle FPGA current = %v, want ~%v", r.CurrentAmps, fpgaStaticAmps)
+	}
+	if !BandZynqUltraScale.Contains(r.BusVolts) {
+		t.Fatalf("idle VCCINT = %v outside band", r.BusVolts)
+	}
+}
+
+func TestCPULoadMovesCPUSensorOnly(t *testing.T) {
+	b := newBoard(t)
+	b.Run(100 * time.Millisecond)
+	cpuDev, _ := b.Sensor(SensorCPUFull)
+	fpgaDev, _ := b.Sensor(SensorFPGA)
+	idleCPU := cpuDev.Read().CurrentAmps
+	idleFPGA := fpgaDev.Read().CurrentAmps
+
+	b.CPUFull().SetUtil(1.0)
+	b.Run(100 * time.Millisecond)
+	busyCPU := cpuDev.Read().CurrentAmps
+	busyFPGA := fpgaDev.Read().CurrentAmps
+	if busyCPU-idleCPU < 1.0 {
+		t.Fatalf("full CPU load moved u76 by only %v A", busyCPU-idleCPU)
+	}
+	if math.Abs(busyFPGA-idleFPGA) > 0.05 {
+		t.Fatalf("CPU load leaked into FPGA sensor: %v -> %v", idleFPGA, busyFPGA)
+	}
+}
+
+func TestFabricLoadMovesFPGACurrentBy40LSBPerGroup(t *testing.T) {
+	b := newBoard(t)
+	// A stand-in for one power-virus group: 1000 active elements.
+	c := &constCircuit{active: 1000}
+	b.Fabric().MustPlace(c, []fabric.Region{{Row: 0, Col: 0}})
+	b.Run(100 * time.Millisecond)
+	dev, _ := b.Sensor(SensorFPGA)
+	base := dev.Read().CurrentAmps
+	c.active = 2000 // activate "one more group"
+	b.Run(100 * time.Millisecond)
+	delta := dev.Read().CurrentAmps - base
+	// The calibration targets ~40 mA (= 40 LSBs) per 1 k instances.
+	if delta < 0.030 || delta > 0.050 {
+		t.Fatalf("per-group current step = %v A, want ~0.040", delta)
+	}
+}
+
+func TestVoltageStaysInBandUnderFullLoad(t *testing.T) {
+	b := newBoard(t)
+	c := &constCircuit{active: 160000} // all 160 k virus instances
+	b.Fabric().MustPlace(c, []fabric.Region{{Row: 0, Col: 0}})
+	b.Run(200 * time.Millisecond)
+	dev, _ := b.Sensor(SensorFPGA)
+	r := dev.Read()
+	if !BandZynqUltraScale.Contains(r.BusVolts) {
+		t.Fatalf("VCCINT = %v outside stabilizer band under full load", r.BusVolts)
+	}
+	// Current, by contrast, should have swung by amps.
+	if r.CurrentAmps < 5 {
+		t.Fatalf("full-load FPGA current = %v, want > 5 A", r.CurrentAmps)
+	}
+}
+
+func TestStabilizerAblation(t *testing.T) {
+	b, err := NewZCU102(Config{Seed: 42, DisableStabilizer: true})
+	if err != nil {
+		t.Fatalf("NewZCU102: %v", err)
+	}
+	c := &constCircuit{active: 160000}
+	b.Fabric().MustPlace(c, []fabric.Region{{Row: 0, Col: 0}})
+	b.Run(200 * time.Millisecond)
+	rail, _ := b.Rail(RailFPGA)
+	if BandZynqUltraScale.Contains(rail.Voltage()) {
+		t.Fatalf("unstabilized voltage %v unexpectedly in band", rail.Voltage())
+	}
+}
+
+func TestHwmonPathEndToEnd(t *testing.T) {
+	b := newBoard(t)
+	b.Run(100 * time.Millisecond)
+	e, ok := b.Hwmon().ByLabel(SensorFPGA)
+	if !ok {
+		t.Fatal("FPGA sensor not in hwmon")
+	}
+	raw, err := b.Sysfs().ReadFile(sysfs.Nobody, e.Attr("curr1_input"))
+	if err != nil {
+		t.Fatalf("unprivileged hwmon read: %v", err)
+	}
+	ma, err := strconv.Atoi(strings.TrimSpace(raw))
+	if err != nil {
+		t.Fatalf("parse %q: %v", raw, err)
+	}
+	if ma < 400 || ma > 700 {
+		t.Fatalf("idle curr1_input = %d mA, want ~550", ma)
+	}
+}
+
+func TestBoardDeterminism(t *testing.T) {
+	run := func() float64 {
+		b, err := NewZCU102(Config{Seed: 99})
+		if err != nil {
+			t.Fatalf("NewZCU102: %v", err)
+		}
+		b.CPUFull().SetUtil(0.5)
+		b.Run(150 * time.Millisecond)
+		dev, _ := b.Sensor(SensorCPUFull)
+		return dev.Read().CurrentAmps
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different board state")
+	}
+}
+
+func TestUtilizationSource(t *testing.T) {
+	u, err := NewUtilizationSource("cpu", 0.3, 1.7)
+	if err != nil {
+		t.Fatalf("NewUtilizationSource: %v", err)
+	}
+	if u.Current() != 0.3 {
+		t.Fatalf("idle current = %v", u.Current())
+	}
+	u.SetUtil(0.5)
+	if math.Abs(u.Current()-1.15) > 1e-12 {
+		t.Fatalf("half current = %v", u.Current())
+	}
+	u.SetUtil(2)
+	if u.Util() != 1 {
+		t.Fatalf("clamp high failed: %v", u.Util())
+	}
+	u.SetUtil(-1)
+	if u.Util() != 0 {
+		t.Fatalf("clamp low failed: %v", u.Util())
+	}
+	if u.SourceName() != "cpu" {
+		t.Fatalf("SourceName = %q", u.SourceName())
+	}
+	if _, err := NewUtilizationSource("", 0, 0); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewUtilizationSource("x", -1, 0); err == nil {
+		t.Fatal("negative idle accepted")
+	}
+}
+
+// constCircuit is a fabric circuit with a settable activity level.
+type constCircuit struct{ active float64 }
+
+func (c *constCircuit) CircuitName() string           { return "const" }
+func (c *constCircuit) Utilization() fabric.Resources { return fabric.Resources{LUTs: 1} }
+func (c *constCircuit) Step(now, dt time.Duration)    {}
+func (c *constCircuit) ActiveElements() float64       { return c.active }

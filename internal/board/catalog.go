@@ -1,0 +1,93 @@
+// Package board assembles the simulated ARM-FPGA SoC evaluation boards.
+//
+// It has two halves: a static catalog of the commercial boards the paper
+// surveys in Table I (family, stabilizer band, CPU, DRAM, number of
+// integrated INA226 sensors, list price), and a dynamic, fully wired
+// ZCU102 — the paper's experimental machine — combining the fabric, PDN,
+// INA226, and hwmon substrates into one steppable system.
+package board
+
+import "repro/internal/pdn"
+
+// Spec is one catalog row of Table I.
+type Spec struct {
+	// Name of the evaluation board, e.g. "ZCU102".
+	Name string
+	// Family is the FPGA family.
+	Family string
+	// VoltageBand is the stabilized FPGA core voltage range.
+	VoltageBand pdn.Band
+	// CPUModel is the ARM core implemented on the SoC.
+	CPUModel string
+	// DRAMGB is the on-board DRAM in gigabytes.
+	DRAMGB int
+	// INASensors is the number of integrated INA226 sensors.
+	INASensors int
+	// PriceUSD is the list price in dollars.
+	PriceUSD int
+}
+
+// Families surveyed in Table I.
+const (
+	FamilyZynqUltraScale = "Zynq UltraScale+"
+	FamilyVersal         = "Versal"
+)
+
+// Stabilizer bands per family (Table I).
+var (
+	BandZynqUltraScale = pdn.Band{Min: 0.825, Max: 0.876}
+	BandVersal         = pdn.Band{Min: 0.775, Max: 0.825}
+)
+
+// Catalog returns the 8 boards of Table I, in the paper's column order.
+// Every entry integrates INA226 sensors — the observation that motivates
+// the attack's applicability claim.
+func Catalog() []Spec {
+	return []Spec{
+		{Name: "ZCU102", Family: FamilyZynqUltraScale, VoltageBand: BandZynqUltraScale,
+			CPUModel: "Cortex-A53", DRAMGB: 4, INASensors: 18, PriceUSD: 3234},
+		{Name: "ZCU111", Family: FamilyZynqUltraScale, VoltageBand: BandZynqUltraScale,
+			CPUModel: "Cortex-A53", DRAMGB: 4, INASensors: 14, PriceUSD: 14995},
+		{Name: "ZCU216", Family: FamilyZynqUltraScale, VoltageBand: BandZynqUltraScale,
+			CPUModel: "Cortex-A53", DRAMGB: 4, INASensors: 14, PriceUSD: 16995},
+		{Name: "ZCU1285", Family: FamilyZynqUltraScale, VoltageBand: BandZynqUltraScale,
+			CPUModel: "Cortex-A53", DRAMGB: 8, INASensors: 21, PriceUSD: 32394},
+		{Name: "VEK280", Family: FamilyVersal, VoltageBand: BandVersal,
+			CPUModel: "Cortex-A72", DRAMGB: 12, INASensors: 20, PriceUSD: 6995},
+		{Name: "VCK190", Family: FamilyVersal, VoltageBand: BandVersal,
+			CPUModel: "Cortex-A72", DRAMGB: 8, INASensors: 17, PriceUSD: 13195},
+		{Name: "VHK158", Family: FamilyVersal, VoltageBand: BandVersal,
+			CPUModel: "Cortex-A72", DRAMGB: 32, INASensors: 22, PriceUSD: 14995},
+		{Name: "VPK180", Family: FamilyVersal, VoltageBand: BandVersal,
+			CPUModel: "Cortex-A72", DRAMGB: 12, INASensors: 19, PriceUSD: 17995},
+	}
+}
+
+// Lookup returns the catalog entry with the given name.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// SensitiveSensor is one row of Table II: an INA226 whose measurements
+// expose a security-relevant hardware component.
+type SensitiveSensor struct {
+	// Label is the board designator.
+	Label string
+	// Monitors describes the monitored component.
+	Monitors string
+}
+
+// SensitiveSensors lists the four ZCU102 sensors of Table II.
+func SensitiveSensors() []SensitiveSensor {
+	return []SensitiveSensor{
+		{Label: SensorCPUFull, Monitors: "current, voltage, and power for full-power domain of the ARM processor cores"},
+		{Label: SensorCPULow, Monitors: "current, voltage, and power for low-power domain of the ARM processor cores"},
+		{Label: SensorFPGA, Monitors: "current, voltage, and power for FPGA's logic and processing elements"},
+		{Label: SensorDDR, Monitors: "current, voltage, and power for DDR memory"},
+	}
+}

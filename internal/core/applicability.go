@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/board"
+	"repro/internal/stats"
+	"repro/internal/sysfs"
+	"repro/internal/virus"
+)
+
+// ApplicabilityConfig parameterizes the cross-board experiment backing
+// the paper's Table I claim: AmpereBleed works on every surveyed board
+// because they all carry unprivileged INA226 sensors.
+type ApplicabilityConfig struct {
+	// Seed for the whole experiment. Zero means 1.
+	Seed int64
+	// Levels of the mini activity sweep per board; zero means 11.
+	Levels int
+	// SamplesPerLevel of hwmon updates averaged per level; zero means 10.
+	SamplesPerLevel int
+}
+
+// BoardApplicability is one board's outcome.
+type BoardApplicability struct {
+	// Board is the catalog name.
+	Board string
+	// Family of the board.
+	Family string
+	// Sensors discovered by the unprivileged attacker.
+	Sensors int
+	// CurrentPearson correlates unprivileged FPGA-current readings with
+	// the victim activity level.
+	CurrentPearson float64
+	// VoltageInBand reports that the stabilized supply never left the
+	// family's band during the sweep (the defense that does not help).
+	VoltageInBand bool
+}
+
+// Applicability sweeps a power-virus victim on every Table I board and
+// measures the current channel's response through unprivileged hwmon
+// reads. The attack is "applicable" to a board when discovery works and
+// the current channel tracks the victim level.
+func Applicability(cfg ApplicabilityConfig) ([]BoardApplicability, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Levels == 0 {
+		cfg.Levels = 11
+	}
+	if cfg.Levels < 2 {
+		return nil, errors.New("core: need at least two levels")
+	}
+	if cfg.SamplesPerLevel == 0 {
+		cfg.SamplesPerLevel = 10
+	}
+	if cfg.SamplesPerLevel < 1 {
+		return nil, errors.New("core: non-positive samples per level")
+	}
+
+	var out []BoardApplicability
+	for _, spec := range board.Catalog() {
+		row, err := applicabilityOne(cfg, spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func applicabilityOne(cfg ApplicabilityConfig, spec board.Spec) (BoardApplicability, error) {
+	b, err := board.Wire(spec, board.Config{
+		Seed: captureSeed(cfg.Seed, "applicability/"+spec.Name, 0),
+	})
+	if err != nil {
+		return BoardApplicability{}, err
+	}
+	array, err := virus.New(virus.Config{Groups: cfg.Levels - 1})
+	if err != nil {
+		return BoardApplicability{}, err
+	}
+	if err := array.Deploy(b.Fabric()); err != nil {
+		return BoardApplicability{}, err
+	}
+
+	attacker, err := NewAttacker(b.Sysfs(), sysfs.Nobody)
+	if err != nil {
+		return BoardApplicability{}, err
+	}
+	sensors, err := attacker.Discover()
+	if err != nil {
+		return BoardApplicability{}, err
+	}
+	probeI, err := attacker.Probe(Channel{Label: board.SensorFPGA, Kind: Current})
+	if err != nil {
+		return BoardApplicability{}, err
+	}
+	probeV, err := attacker.Probe(Channel{Label: board.SensorFPGA, Kind: Voltage})
+	if err != nil {
+		return BoardApplicability{}, err
+	}
+	dev, err := b.Sensor(board.SensorFPGA)
+	if err != nil {
+		return BoardApplicability{}, err
+	}
+	interval := dev.UpdateInterval()
+
+	levels := make([]float64, 0, cfg.Levels)
+	current := make([]float64, 0, cfg.Levels)
+	inBand := true
+	for level := 0; level < cfg.Levels; level++ {
+		if err := array.SetActiveGroups(level); err != nil {
+			return BoardApplicability{}, err
+		}
+		b.Run(3 * interval) // flush the previous level
+		var sum float64
+		for s := 0; s < cfg.SamplesPerLevel; s++ {
+			b.Run(interval)
+			v, err := probeI()
+			if err != nil {
+				return BoardApplicability{}, err
+			}
+			sum += v
+			volts, err := probeV()
+			if err != nil {
+				return BoardApplicability{}, err
+			}
+			if !spec.VoltageBand.Contains(volts) {
+				inBand = false
+			}
+		}
+		levels = append(levels, float64(level))
+		current = append(current, sum/float64(cfg.SamplesPerLevel))
+	}
+	pearson, err := stats.Pearson(levels, current)
+	if err != nil {
+		return BoardApplicability{}, err
+	}
+	return BoardApplicability{
+		Board:          spec.Name,
+		Family:         spec.Family,
+		Sensors:        len(sensors),
+		CurrentPearson: pearson,
+		VoltageInBand:  inBand,
+	}, nil
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/ro"
+	"repro/internal/stats"
+	"repro/internal/sysfs"
+	"repro/internal/virus"
+)
+
+// CharacterizeConfig parameterizes the Fig. 2 experiment: sweep the
+// power-virus activation level and record what every channel sees.
+type CharacterizeConfig struct {
+	// Seed for the whole experiment. Zero means 1.
+	Seed int64
+	// Levels is the number of activation levels including zero; zero
+	// means the paper's 161 (0..160 groups).
+	Levels int
+	// SamplesPerLevel is how many hwmon updates to average per level.
+	// The paper collects 10,000; the default here is 50, which already
+	// pins the per-level mean far below one LSB of spread (documented in
+	// EXPERIMENTS.md).
+	SamplesPerLevel int
+	// WarmupUpdates discarded after each level switch; zero means 3.
+	WarmupUpdates int
+	// DisableStabilizer runs the FPGA rail unregulated — the ablation
+	// that shows why crafted-circuit attacks needed a fluctuating PDN:
+	// without the stabilizer the RO channel's variation explodes.
+	DisableStabilizer bool
+}
+
+// LevelReading is the averaged observation at one activation level.
+type LevelReading struct {
+	// ActiveGroups is the victim activation level.
+	ActiveGroups int
+	// CurrentAmps, BusVolts, PowerWatts are the hwmon-channel means.
+	CurrentAmps float64
+	BusVolts    float64
+	PowerWatts  float64
+	// ROCount is the mean ring-oscillator count per sampling window.
+	ROCount float64
+}
+
+// ChannelFit summarizes one channel's response across the sweep.
+type ChannelFit struct {
+	// Pearson correlation of the channel against the activation level.
+	Pearson float64
+	// LSBPerLevel is the fitted slope expressed in channel LSBs per
+	// activation step (Fig. 2 quotes ~40 for current, 1-2 for power).
+	LSBPerLevel float64
+	// RelativeVariation is (max-min)/mean of the per-level means, the
+	// "variation" measure behind the paper's 261× claim.
+	RelativeVariation float64
+}
+
+// CharacterizeResult is the Fig. 2 dataset.
+type CharacterizeResult struct {
+	// Readings per level, in level order.
+	Readings []LevelReading
+	// Fits per channel.
+	Current, Voltage, Power, RO ChannelFit
+	// VariationRatio is current's relative variation over RO's — the
+	// paper reports 261×.
+	VariationRatio float64
+}
+
+// Channel LSBs used to express slopes (Sec. III-C).
+const (
+	currentLSB = 1e-3    // 1 mA
+	voltageLSB = 1.25e-3 // 1.25 mV
+	powerLSB   = 25e-3   // 25 mW
+)
+
+// Characterize runs the Fig. 2 sweep on a freshly wired ZCU102.
+func Characterize(cfg CharacterizeConfig) (*CharacterizeResult, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Levels == 0 {
+		cfg.Levels = virus.DefaultGroups + 1
+	}
+	if cfg.Levels < 2 {
+		return nil, errors.New("core: need at least two levels")
+	}
+	if cfg.SamplesPerLevel == 0 {
+		cfg.SamplesPerLevel = 50
+	}
+	if cfg.SamplesPerLevel < 1 {
+		return nil, errors.New("core: non-positive samples per level")
+	}
+	if cfg.WarmupUpdates == 0 {
+		cfg.WarmupUpdates = 3
+	}
+
+	// --- Victim side: deploy the virus bitstream and the RO baseline. ---
+	b, err := board.NewZCU102(board.Config{
+		Seed:              cfg.Seed,
+		DisableStabilizer: cfg.DisableStabilizer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	array, err := virus.New(virus.Config{Groups: cfg.Levels - 1})
+	if err != nil {
+		return nil, err
+	}
+	if err := array.Deploy(b.Fabric()); err != nil {
+		return nil, err
+	}
+	fpgaRail, err := b.Rail(board.RailFPGA)
+	if err != nil {
+		return nil, err
+	}
+	bank, err := ro.New(ro.Config{
+		NominalVolts: fpgaRail.NominalVoltage(),
+		// 1.27%/10 mV supply sensitivity, the calibration point that puts
+		// the current/RO variation ratio at the paper's 261×.
+		VoltSensitivity:           1.27,
+		Volts:                     fpgaRail.Voltage,
+		LocalDroopVoltsPerElement: 2e-9,
+		LocalActivity:             b.Fabric().RegionActivity,
+		JitterHz:                  50e3,
+		Rand:                      b.Engine().Stream("ro-bank"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := bank.Deploy(b.Fabric()); err != nil {
+		return nil, err
+	}
+
+	// --- Attacker side: unprivileged hwmon probes on the FPGA sensor. ---
+	attacker, err := NewAttacker(b.Sysfs(), sysfs.Nobody)
+	if err != nil {
+		return nil, err
+	}
+	probes := make(map[Kind]func() (float64, error), 3)
+	for _, k := range []Kind{Current, Voltage, Power} {
+		p, err := attacker.Probe(Channel{Label: board.SensorFPGA, Kind: k})
+		if err != nil {
+			return nil, err
+		}
+		probes[k] = p
+	}
+
+	dev, err := b.Sensor(board.SensorFPGA)
+	if err != nil {
+		return nil, err
+	}
+	interval := dev.UpdateInterval()
+
+	res := &CharacterizeResult{}
+	levels := make([]float64, 0, cfg.Levels)
+	cur := make([]float64, 0, cfg.Levels)
+	vol := make([]float64, 0, cfg.Levels)
+	pow := make([]float64, 0, cfg.Levels)
+	roc := make([]float64, 0, cfg.Levels)
+
+	for level := 0; level < cfg.Levels; level++ {
+		if err := array.SetActiveGroups(level); err != nil {
+			return nil, err
+		}
+		// Let the sensor windows flush the previous level.
+		b.Run(time.Duration(cfg.WarmupUpdates) * interval)
+		bank.Sample() // discard counts accumulated during warmup
+
+		var sumI, sumV, sumP, sumR float64
+		for s := 0; s < cfg.SamplesPerLevel; s++ {
+			b.Run(interval)
+			i, err := probes[Current]()
+			if err != nil {
+				return nil, err
+			}
+			v, err := probes[Voltage]()
+			if err != nil {
+				return nil, err
+			}
+			p, err := probes[Power]()
+			if err != nil {
+				return nil, err
+			}
+			sumI += i
+			sumV += v
+			sumP += p
+			sumR += bank.SampleMean()
+		}
+		n := float64(cfg.SamplesPerLevel)
+		r := LevelReading{
+			ActiveGroups: level,
+			CurrentAmps:  sumI / n,
+			BusVolts:     sumV / n,
+			PowerWatts:   sumP / n,
+			ROCount:      sumR / n,
+		}
+		res.Readings = append(res.Readings, r)
+		levels = append(levels, float64(level))
+		cur = append(cur, r.CurrentAmps)
+		vol = append(vol, r.BusVolts)
+		pow = append(pow, r.PowerWatts)
+		roc = append(roc, r.ROCount)
+	}
+
+	if res.Current, err = fitChannel(levels, cur, currentLSB); err != nil {
+		return nil, fmt.Errorf("core: current fit: %w", err)
+	}
+	if res.Voltage, err = fitChannel(levels, vol, voltageLSB); err != nil {
+		return nil, fmt.Errorf("core: voltage fit: %w", err)
+	}
+	if res.Power, err = fitChannel(levels, pow, powerLSB); err != nil {
+		return nil, fmt.Errorf("core: power fit: %w", err)
+	}
+	if res.RO, err = fitChannel(levels, roc, 1); err != nil {
+		return nil, fmt.Errorf("core: RO fit: %w", err)
+	}
+	if res.RO.RelativeVariation > 0 {
+		res.VariationRatio = res.Current.RelativeVariation / res.RO.RelativeVariation
+	}
+	return res, nil
+}
+
+func fitChannel(levels, values []float64, lsb float64) (ChannelFit, error) {
+	pearson, err := stats.Pearson(levels, values)
+	if errors.Is(err, stats.ErrDegenerate) {
+		// A channel flattened entirely by quantization carries no
+		// information about the level: report zero correlation.
+		pearson = 0
+	} else if err != nil {
+		return ChannelFit{}, err
+	}
+	fit, err := stats.FitLine(levels, values)
+	if err != nil {
+		return ChannelFit{}, err
+	}
+	rng, err := stats.Range(values)
+	if err != nil {
+		return ChannelFit{}, err
+	}
+	mean := stats.MustMean(values)
+	cf := ChannelFit{
+		Pearson:     pearson,
+		LSBPerLevel: fit.Slope / lsb,
+	}
+	if mean != 0 {
+		cf.RelativeVariation = rng / mean
+	}
+	return cf, nil
+}

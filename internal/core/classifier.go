@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/ml/features"
+	"repro/internal/ml/rforest"
+)
+
+// Classifier is the online phase of the fingerprinting attack: a random
+// forest trained on offline captures of one channel, able to label a
+// black-box accelerator from a fresh trace.
+type Classifier struct {
+	forest       *rforest.Forest
+	channel      Channel
+	duration     time.Duration
+	bins         int
+	spectralBins int
+	classes      []string
+}
+
+// TrainClassifier fits the offline-phase model for one channel and
+// trace duration over the given captures.
+func TrainClassifier(cfg FingerprintConfig, captures []*Capture, ch Channel, d time.Duration) (*Classifier, error) {
+	cfg.fillDefaults()
+	if len(captures) == 0 {
+		return nil, errors.New("core: no training captures")
+	}
+	var ds features.Dataset
+	for _, capt := range captures {
+		tr, ok := capt.Traces[ch]
+		if !ok {
+			return nil, fmt.Errorf("core: capture %s/%d lacks channel %v", capt.Model, capt.Rep, ch)
+		}
+		prefix, err := tr.Prefix(d)
+		if err != nil {
+			return nil, err
+		}
+		vec, err := features.FromTraceWithSpectrum(prefix, cfg.Bins, cfg.SpectralBins)
+		if err != nil {
+			return nil, err
+		}
+		ds.Add(vec, capt.Model)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ds.Classes) < 2 {
+		return nil, errors.New("core: need captures of at least two models")
+	}
+	seed := captureSeed(cfg.Seed, fmt.Sprintf("classifier/%v/%v", ch, d), 0)
+	forest, err := rforest.Train(rforest.Config{
+		Trees:    cfg.Trees,
+		MaxDepth: cfg.MaxDepth,
+		Rand:     rand.New(rand.NewSource(seed)),
+	}, ds.X, ds.Y, len(ds.Classes))
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{
+		forest:       forest,
+		channel:      ch,
+		duration:     d,
+		bins:         cfg.Bins,
+		spectralBins: cfg.SpectralBins,
+		classes:      ds.Classes,
+	}, nil
+}
+
+// Channel returns the channel the classifier was trained on.
+func (c *Classifier) Channel() Channel { return c.channel }
+
+// Classes returns the model names the classifier can distinguish.
+func (c *Classifier) Classes() []string { return append([]string(nil), c.classes...) }
+
+// vectorFor extracts this classifier's feature vector from a capture.
+func (c *Classifier) vectorFor(capt *Capture) ([]float64, error) {
+	tr, ok := capt.Traces[c.channel]
+	if !ok {
+		return nil, fmt.Errorf("core: capture lacks channel %v", c.channel)
+	}
+	prefix, err := tr.Prefix(c.duration)
+	if err != nil {
+		return nil, err
+	}
+	return features.FromTraceWithSpectrum(prefix, c.bins, c.spectralBins)
+}
+
+// Classify labels a black-box capture with the most likely model name.
+func (c *Classifier) Classify(capt *Capture) (string, error) {
+	top, err := c.TopK(capt, 1)
+	if err != nil {
+		return "", err
+	}
+	return top[0], nil
+}
+
+// ImportanceBreakdown aggregates the forest's Gini feature importance
+// into the three semantic feature groups.
+type ImportanceBreakdown struct {
+	// Temporal is the share carried by the resampled trace bins (the
+	// victim's activity pattern over time).
+	Temporal float64
+	// Summary is the share carried by the amplitude statistics (mean,
+	// std, min, max, quartiles).
+	Summary float64
+	// Spectral is the share carried by the DFT magnitudes (zero when
+	// spectral features are disabled).
+	Spectral float64
+}
+
+// FeatureImportance returns the per-feature Gini importance of the
+// trained forest, in the vector's layout: bins temporal values, six
+// summary statistics, then any spectral magnitudes.
+func (c *Classifier) FeatureImportance() []float64 {
+	return c.forest.Importances()
+}
+
+// Breakdown groups the feature importance semantically — which aspect
+// of the current trace identifies a model.
+func (c *Classifier) Breakdown() ImportanceBreakdown {
+	imp := c.forest.Importances()
+	var out ImportanceBreakdown
+	for i, v := range imp {
+		switch {
+		case i < c.bins:
+			out.Temporal += v
+		case i < c.bins+summaryFeatureCount:
+			out.Summary += v
+		default:
+			out.Spectral += v
+		}
+	}
+	return out
+}
+
+// summaryFeatureCount mirrors the features package's appended summary
+// statistics (mean, std, min, max, Q1, Q3).
+const summaryFeatureCount = 6
+
+// TopK returns the k most likely model names, most likely first.
+func (c *Classifier) TopK(capt *Capture, k int) ([]string, error) {
+	vec, err := c.vectorFor(capt)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := c.forest.TopK(vec, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(idx))
+	for i, ci := range idx {
+		out[i] = c.classes[ci]
+	}
+	return out, nil
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/sysfs"
+	"repro/internal/virus"
+)
+
+// The current channel also works as a covert channel: a sender with
+// FPGA access (a malicious bitstream, or a tenant in a future
+// multi-tenant deployment) modulates switching activity, and an
+// unprivileged CPU-side receiver decodes it from hwmon current reads —
+// crossing the PS/PL isolation boundary without any shared software
+// interface. Capacity is bounded by the sensor's update interval
+// (35 ms default), matching how the paper frames the sensor as the
+// attacker's sampling bottleneck.
+
+// CovertConfig parameterizes a covert-channel transmission.
+type CovertConfig struct {
+	// Seed for the board and payload. Zero means 1.
+	Seed int64
+	// PayloadBits to transmit; zero means 64.
+	PayloadBits int
+	// SymbolUpdates is the symbol duration in sensor update intervals;
+	// zero means 2 (robust against boundary straddling).
+	SymbolUpdates int
+	// Groups is the on-off keying amplitude in power-virus groups; zero
+	// means 40 (a ~1.6 A swing, far above the noise floor).
+	Groups int
+	// UpdateInterval overrides the sensors' hwmon update interval. The
+	// default 35 ms caps the unprivileged channel at ~28.6 bps; a root
+	// accomplice retuning to 2 ms raises the ceiling to 500 bps.
+	UpdateInterval time.Duration
+}
+
+// CovertResult summarizes a transmission.
+type CovertResult struct {
+	// BitsSent is the payload length.
+	BitsSent int
+	// BitErrors after decoding.
+	BitErrors int
+	// Throughput is the payload rate in bits/s at the used symbol
+	// period (excluding the preamble).
+	Throughput float64
+	// SymbolPeriod actually used.
+	SymbolPeriod time.Duration
+}
+
+// BER returns the bit error rate.
+func (r *CovertResult) BER() float64 {
+	if r.BitsSent == 0 {
+		return 0
+	}
+	return float64(r.BitErrors) / float64(r.BitsSent)
+}
+
+// preamble is the alternating sync/calibration header.
+var preamble = []int{1, 0, 1, 0, 1, 0, 1, 0}
+
+// covertSender drives the power-virus array with on-off keying.
+type covertSender struct {
+	array  *virus.Array
+	bits   []int
+	period time.Duration
+	groups int
+	start  time.Duration
+	active bool
+}
+
+// Step implements sim.Steppable.
+func (s *covertSender) Step(now, dt time.Duration) {
+	if !s.active {
+		return
+	}
+	idx := int((now - s.start) / s.period)
+	level := 0
+	if idx < len(s.bits) {
+		if s.bits[idx] == 1 {
+			level = s.groups
+		}
+	}
+	// Ignoring the error is safe: level is 0 or s.groups, both valid.
+	_ = s.array.SetActiveGroups(level)
+}
+
+// CovertTransmit runs one end-to-end covert transmission and decodes it
+// with the unprivileged receiver.
+func CovertTransmit(cfg CovertConfig) (*CovertResult, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.PayloadBits == 0 {
+		cfg.PayloadBits = 64
+	}
+	if cfg.PayloadBits < 1 {
+		return nil, errors.New("core: non-positive payload")
+	}
+	if cfg.SymbolUpdates == 0 {
+		cfg.SymbolUpdates = 2
+	}
+	if cfg.SymbolUpdates < 1 {
+		return nil, errors.New("core: non-positive symbol duration")
+	}
+	if cfg.Groups == 0 {
+		cfg.Groups = 40
+	}
+	if cfg.Groups < 1 || cfg.Groups > virus.DefaultGroups {
+		return nil, fmt.Errorf("core: groups %d outside [1,%d]", cfg.Groups, virus.DefaultGroups)
+	}
+
+	b, err := board.NewZCU102(board.Config{
+		Seed:           cfg.Seed,
+		UpdateInterval: cfg.UpdateInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	array, err := virus.New(virus.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if err := array.Deploy(b.Fabric()); err != nil {
+		return nil, err
+	}
+	dev, err := b.Sensor(board.SensorFPGA)
+	if err != nil {
+		return nil, err
+	}
+	interval := dev.UpdateInterval()
+	period := time.Duration(cfg.SymbolUpdates) * interval
+
+	// Build the frame: preamble + payload.
+	payloadRng := rand.New(rand.NewSource(captureSeed(cfg.Seed, "covert-payload", 0)))
+	payload := make([]int, cfg.PayloadBits)
+	for i := range payload {
+		payload[i] = payloadRng.Intn(2)
+	}
+	frame := append(append([]int{}, preamble...), payload...)
+
+	sender := &covertSender{array: array, bits: frame, period: period, groups: cfg.Groups}
+	b.Engine().MustRegister("covert-sender", sender)
+
+	attacker, err := NewAttacker(b.Sysfs(), sysfs.Nobody)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := attacker.NewRecorder(Channel{Label: board.SensorFPGA, Kind: Current}, interval)
+	if err != nil {
+		return nil, err
+	}
+
+	// Settle, then start the transmission aligned with the recorder.
+	b.Run(200 * time.Millisecond)
+	rec.Reset()
+	b.Engine().MustRegister("covert-receiver", rec)
+	sender.start = b.Engine().Now()
+	sender.active = true
+	b.Run(time.Duration(len(frame))*period + 2*interval)
+
+	tr, err := rec.Trace()
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := covertDecode(tr.Samples, cfg.SymbolUpdates, len(frame))
+	if err != nil {
+		return nil, err
+	}
+	res := &CovertResult{
+		BitsSent:     cfg.PayloadBits,
+		SymbolPeriod: period,
+		Throughput:   1 / period.Seconds(),
+	}
+	for i, want := range payload {
+		if decoded[len(preamble)+i] != want {
+			res.BitErrors++
+		}
+	}
+	return res, nil
+}
+
+// covertDecode recovers the frame bits from the sampled current: find
+// the sampling offset that best matches the alternating preamble, derive
+// the decision threshold from the preamble's high/low means, then
+// threshold each symbol's mean.
+func covertDecode(samples []float64, samplesPerSymbol, frameBits int) ([]int, error) {
+	if samplesPerSymbol < 1 {
+		return nil, errors.New("core: bad symbol width")
+	}
+	need := frameBits * samplesPerSymbol
+	if len(samples) < need {
+		return nil, fmt.Errorf("core: trace too short: %d samples, need %d", len(samples), need)
+	}
+	symbolMeans := func(offset int) []float64 {
+		out := make([]float64, frameBits)
+		for s := 0; s < frameBits; s++ {
+			var sum float64
+			for k := 0; k < samplesPerSymbol; k++ {
+				sum += samples[offset+s*samplesPerSymbol+k]
+			}
+			out[s] = sum / float64(samplesPerSymbol)
+		}
+		return out
+	}
+	maxOffset := len(samples) - need
+	if maxOffset > samplesPerSymbol {
+		maxOffset = samplesPerSymbol
+	}
+	bestOffset, bestScore := 0, -1.0
+	for off := 0; off <= maxOffset; off++ {
+		means := symbolMeans(off)
+		// Preamble contrast: |mean(high symbols) - mean(low symbols)|.
+		var hi, lo float64
+		for i, bit := range preamble {
+			if bit == 1 {
+				hi += means[i]
+			} else {
+				lo += means[i]
+			}
+		}
+		score := hi - lo
+		if score > bestScore {
+			bestScore = score
+			bestOffset = off
+		}
+	}
+	means := symbolMeans(bestOffset)
+	var hi, lo float64
+	for i, bit := range preamble {
+		if bit == 1 {
+			hi += means[i]
+		} else {
+			lo += means[i]
+		}
+	}
+	threshold := (hi + lo) / float64(len(preamble))
+	bits := make([]int, frameBits)
+	for i, m := range means {
+		if m > threshold {
+			bits[i] = 1
+		}
+	}
+	return bits, nil
+}

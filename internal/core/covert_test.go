@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCovertErrorFreeAtUpdateRate(t *testing.T) {
+	// One symbol per sensor update: the OOK capacity ceiling at 35 ms.
+	res, err := CovertTransmit(CovertConfig{PayloadBits: 64, SymbolUpdates: 1})
+	if err != nil {
+		t.Fatalf("CovertTransmit: %v", err)
+	}
+	if res.BitErrors != 0 {
+		t.Fatalf("BER = %v at the update rate, want 0", res.BER())
+	}
+	if math.Abs(res.Throughput-1/0.035) > 0.1 {
+		t.Fatalf("throughput = %v bps, want ~28.6", res.Throughput)
+	}
+	if res.SymbolPeriod != 35*time.Millisecond {
+		t.Fatalf("symbol period = %v", res.SymbolPeriod)
+	}
+	if res.BitsSent != 64 {
+		t.Fatalf("BitsSent = %d", res.BitsSent)
+	}
+}
+
+func TestCovertSlowerSymbolsAlsoClean(t *testing.T) {
+	res, err := CovertTransmit(CovertConfig{PayloadBits: 32, SymbolUpdates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitErrors != 0 {
+		t.Fatalf("BER = %v", res.BER())
+	}
+}
+
+func TestCovertSmallAmplitude(t *testing.T) {
+	// One virus group = ~40 mA swing, still 40 sensor LSBs: clean.
+	res, err := CovertTransmit(CovertConfig{PayloadBits: 32, SymbolUpdates: 2, Groups: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitErrors != 0 {
+		t.Fatalf("BER = %v with a 1-group amplitude", res.BER())
+	}
+}
+
+func TestCovertRootRetunedRate(t *testing.T) {
+	// A root accomplice retunes the sensor to 2 ms: 500 bps, still clean.
+	res, err := CovertTransmit(CovertConfig{
+		PayloadBits:    64,
+		SymbolUpdates:  1,
+		UpdateInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitErrors != 0 {
+		t.Fatalf("BER = %v at 2 ms", res.BER())
+	}
+	if math.Abs(res.Throughput-500) > 1 {
+		t.Fatalf("throughput = %v bps, want 500", res.Throughput)
+	}
+}
+
+func TestCovertDeterministic(t *testing.T) {
+	run := func() int {
+		res, err := CovertTransmit(CovertConfig{Seed: 9, PayloadBits: 48})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BitErrors
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different transmissions")
+	}
+}
+
+func TestCovertValidation(t *testing.T) {
+	if _, err := CovertTransmit(CovertConfig{PayloadBits: -1}); err == nil {
+		t.Fatal("negative payload accepted")
+	}
+	if _, err := CovertTransmit(CovertConfig{SymbolUpdates: -1}); err == nil {
+		t.Fatal("negative symbol width accepted")
+	}
+	if _, err := CovertTransmit(CovertConfig{Groups: 9999}); err == nil {
+		t.Fatal("overweight amplitude accepted")
+	}
+}
+
+func TestCovertDecodeErrors(t *testing.T) {
+	if _, err := covertDecode([]float64{1, 2}, 1, 10); err == nil {
+		t.Fatal("short trace accepted")
+	}
+	if _, err := covertDecode([]float64{1, 2}, 0, 1); err == nil {
+		t.Fatal("zero symbol width accepted")
+	}
+}
+
+func TestCovertBERZeroOnEmpty(t *testing.T) {
+	r := &CovertResult{}
+	if r.BER() != 0 {
+		t.Fatal("empty BER != 0")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"time"
+)
+
+// The simplest online use of the channel: watch a sensor and report the
+// moments FPGA workloads start and stop. A two-sided CUSUM changepoint
+// detector over the current samples is robust to the 1 mA quantization
+// and the rail noise while reacting within a few update intervals.
+
+// DetectorConfig parameterizes a workload detector.
+type DetectorConfig struct {
+	// DriftAmps is the CUSUM slack: level changes smaller than this are
+	// treated as noise. Zero means 20 mA (half a power-virus group).
+	DriftAmps float64
+	// ThresholdAmps is the accumulated deviation that triggers an event.
+	// Zero means 100 mA.
+	ThresholdAmps float64
+	// BaselineSamples initialize the reference level before detection
+	// starts. Zero means 8.
+	BaselineSamples int
+}
+
+// EventKind classifies a detected change.
+type EventKind string
+
+// Detected change kinds.
+const (
+	// Rise is a workload turning on (current step up).
+	Rise EventKind = "rise"
+	// Fall is a workload turning off (current step down).
+	Fall EventKind = "fall"
+)
+
+// Event is one detected workload transition.
+type Event struct {
+	// At is the sample timestamp of the detection.
+	At time.Duration
+	// Kind of the transition.
+	Kind EventKind
+	// Level is the new reference level in amps after the transition.
+	Level float64
+}
+
+// Detector is an online two-sided CUSUM changepoint detector.
+type Detector struct {
+	cfg DetectorConfig
+
+	n        int
+	baseline float64
+	ref      float64
+	up, down float64
+	now      time.Duration
+	interval time.Duration
+
+	events []Event
+}
+
+// NewDetector validates cfg and returns a detector; interval is the
+// sampling period used to timestamp events.
+func NewDetector(cfg DetectorConfig, interval time.Duration) (*Detector, error) {
+	if cfg.DriftAmps == 0 {
+		cfg.DriftAmps = 0.020
+	}
+	if cfg.ThresholdAmps == 0 {
+		cfg.ThresholdAmps = 0.100
+	}
+	if cfg.BaselineSamples == 0 {
+		cfg.BaselineSamples = 8
+	}
+	if cfg.DriftAmps < 0 || cfg.ThresholdAmps <= 0 || cfg.BaselineSamples < 1 {
+		return nil, errors.New("core: invalid detector parameters")
+	}
+	if interval <= 0 {
+		return nil, errors.New("core: non-positive detector interval")
+	}
+	return &Detector{cfg: cfg, interval: interval}, nil
+}
+
+// Push consumes one current sample and returns a non-nil event when a
+// transition is detected at this sample.
+func (d *Detector) Push(amps float64) *Event {
+	defer func() { d.now += d.interval }()
+
+	if d.n < d.cfg.BaselineSamples {
+		d.baseline += amps
+		d.n++
+		if d.n == d.cfg.BaselineSamples {
+			d.ref = d.baseline / float64(d.n)
+		}
+		return nil
+	}
+
+	dev := amps - d.ref
+	d.up += dev - d.cfg.DriftAmps
+	if d.up < 0 {
+		d.up = 0
+	}
+	d.down += -dev - d.cfg.DriftAmps
+	if d.down < 0 {
+		d.down = 0
+	}
+
+	var kind EventKind
+	switch {
+	case d.up > d.cfg.ThresholdAmps:
+		kind = Rise
+	case d.down > d.cfg.ThresholdAmps:
+		kind = Fall
+	default:
+		return nil
+	}
+	// Re-reference at the new level and reset the accumulators.
+	d.ref = amps
+	d.up, d.down = 0, 0
+	ev := Event{At: d.now, Kind: kind, Level: amps}
+	d.events = append(d.events, ev)
+	return &ev
+}
+
+// Events returns all detections so far.
+func (d *Detector) Events() []Event { return append([]Event(nil), d.events...) }
+
+// Reference returns the present reference level in amps.
+func (d *Detector) Reference() float64 { return d.ref }

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/sysfs"
+	"repro/internal/virus"
+)
+
+func TestNewDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(DetectorConfig{}, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := NewDetector(DetectorConfig{ThresholdAmps: -1}, time.Millisecond); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	if _, err := NewDetector(DetectorConfig{BaselineSamples: -1}, time.Millisecond); err == nil {
+		t.Fatal("negative baseline accepted")
+	}
+}
+
+func TestDetectorSyntheticStep(t *testing.T) {
+	d, err := NewDetector(DetectorConfig{}, 35*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 baseline samples at 0.55, then a 0.4 A step, then back.
+	for i := 0; i < 20; i++ {
+		if ev := d.Push(0.55); ev != nil {
+			t.Fatalf("false positive at sample %d: %+v", i, ev)
+		}
+	}
+	var rise *Event
+	for i := 0; i < 10 && rise == nil; i++ {
+		rise = d.Push(0.95)
+	}
+	if rise == nil || rise.Kind != Rise {
+		t.Fatalf("rise not detected: %+v", rise)
+	}
+	var fall *Event
+	for i := 0; i < 10 && fall == nil; i++ {
+		fall = d.Push(0.55)
+	}
+	if fall == nil || fall.Kind != Fall {
+		t.Fatalf("fall not detected: %+v", fall)
+	}
+	if len(d.Events()) != 2 {
+		t.Fatalf("events = %v", d.Events())
+	}
+}
+
+func TestDetectorIgnoresNoiseWithinDrift(t *testing.T) {
+	d, err := NewDetector(DetectorConfig{DriftAmps: 0.02, ThresholdAmps: 0.1}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{0.55, 0.56, 0.54, 0.55, 0.57, 0.53, 0.55, 0.56}
+	for i := 0; i < 100; i++ {
+		if ev := d.Push(vals[i%len(vals)]); ev != nil {
+			t.Fatalf("noise triggered event: %+v", ev)
+		}
+	}
+}
+
+func TestDetectorOnLiveBoard(t *testing.T) {
+	b, err := board.NewZCU102(board.Config{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	array, err := virus.New(virus.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := array.Deploy(b.Fabric()); err != nil {
+		t.Fatal(err)
+	}
+	atk, _ := NewAttacker(b.Sysfs(), sysfs.Nobody)
+	probe, err := atk.Probe(Channel{Label: board.SensorFPGA, Kind: Current})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := b.Sensor(board.SensorFPGA)
+	interval := dev.UpdateInterval()
+	det, err := NewDetector(DetectorConfig{}, interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(updates int) {
+		for i := 0; i < updates; i++ {
+			b.Run(interval)
+			v, err := probe()
+			if err != nil {
+				t.Fatal(err)
+			}
+			det.Push(v)
+		}
+	}
+	step(12) // baseline + idle
+	if err := array.SetActiveGroups(20); err != nil {
+		t.Fatal(err)
+	}
+	step(12)
+	if err := array.SetActiveGroups(0); err != nil {
+		t.Fatal(err)
+	}
+	step(12)
+
+	events := det.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %+v, want exactly rise+fall", events)
+	}
+	if events[0].Kind != Rise || events[1].Kind != Fall {
+		t.Fatalf("event kinds = %v/%v", events[0].Kind, events[1].Kind)
+	}
+	// The rise detection carries the loaded level (~0.55+0.8 A).
+	if events[0].Level < 1.0 {
+		t.Fatalf("rise level = %v, want > 1 A", events[0].Level)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/dpu"
+	"repro/internal/ml/crossval"
+	"repro/internal/ml/features"
+	"repro/internal/ml/rforest"
+)
+
+// FamilyResult reports fingerprinting accuracy at two granularities:
+// the exact architecture (the Table III metric) and the architecture
+// family. Even when the classifier confuses two models, it almost
+// always confuses them within a family — family identification is the
+// robust fallback an attacker gets "for free".
+type FamilyResult struct {
+	Channel  Channel
+	Duration time.Duration
+	// ModelTop1 is the exact-architecture accuracy.
+	ModelTop1 float64
+	// FamilyTop1 is the accuracy of the predicted model's family.
+	FamilyTop1 float64
+	// Families evaluated.
+	Families int
+}
+
+// EvaluateFamilies cross-validates one channel/duration and scores both
+// the exact-model and the family-level prediction from the same
+// confusion matrix.
+func EvaluateFamilies(cfg FingerprintConfig, captures []*Capture, ch Channel, d time.Duration) (*FamilyResult, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var ds features.Dataset
+	for _, capt := range captures {
+		tr, ok := capt.Traces[ch]
+		if !ok {
+			return nil, fmt.Errorf("core: capture %s/%d lacks channel %v", capt.Model, capt.Rep, ch)
+		}
+		prefix, err := tr.Prefix(d)
+		if err != nil {
+			return nil, err
+		}
+		vec, err := features.FromTraceWithSpectrum(prefix, cfg.Bins, cfg.SpectralBins)
+		if err != nil {
+			return nil, err
+		}
+		ds.Add(vec, capt.Model)
+	}
+	seed := captureSeed(cfg.Seed, fmt.Sprintf("family/%v/%v", ch, d), 0)
+	rng := rand.New(rand.NewSource(seed))
+	det, err := crossval.EvaluateDetailed(&ds, rforest.Config{
+		Trees:    cfg.Trees,
+		MaxDepth: cfg.MaxDepth,
+		Rand:     rng,
+	}, cfg.Folds, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// Map class indices to families via the zoo.
+	family := make([]string, len(ds.Classes))
+	families := map[string]bool{}
+	for i, name := range ds.Classes {
+		m, err := dpu.ZooModel(name)
+		if err != nil {
+			return nil, err
+		}
+		family[i] = m.Family
+		families[m.Family] = true
+	}
+	var familyHits, total int
+	for y, row := range det.Confusion {
+		for p, count := range row {
+			total += count
+			if family[y] == family[p] {
+				familyHits += count
+			}
+		}
+	}
+	res := &FamilyResult{
+		Channel:   ch,
+		Duration:  d,
+		ModelTop1: det.Top1,
+		Families:  len(families),
+	}
+	if total > 0 {
+		res.FamilyTop1 = float64(familyHits) / float64(total)
+	}
+	return res, nil
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/dpu"
+	"repro/internal/imagenet"
+	"repro/internal/ml/crossval"
+	"repro/internal/ml/features"
+	"repro/internal/ml/rforest"
+	"repro/internal/sysfs"
+	"repro/internal/trace"
+)
+
+// SensitiveChannels returns the six channels Table III evaluates: the
+// four current sensors of Table II plus the FPGA sensor's voltage and
+// power channels.
+func SensitiveChannels() []Channel {
+	return []Channel{
+		{Label: board.SensorCPUFull, Kind: Current},
+		{Label: board.SensorCPULow, Kind: Current},
+		{Label: board.SensorDDR, Kind: Current},
+		{Label: board.SensorFPGA, Kind: Current},
+		{Label: board.SensorFPGA, Kind: Voltage},
+		{Label: board.SensorFPGA, Kind: Power},
+	}
+}
+
+// FingerprintConfig parameterizes the DPU fingerprinting experiment.
+type FingerprintConfig struct {
+	// Seed for the whole experiment. Zero means 1.
+	Seed int64
+	// Models to fingerprint by zoo name; empty means all 39.
+	Models []string
+	// TracesPerModel collected in the offline phase; zero means 12 (the
+	// paper's 10-fold CV needs at least 10; EXPERIMENTS.md documents the
+	// budget reduction from the paper's full capture).
+	TracesPerModel int
+	// TraceDuration of each capture; zero means the paper's 5 s.
+	TraceDuration time.Duration
+	// Warmup before each capture; zero means 200 ms.
+	Warmup time.Duration
+	// Channels to evaluate; empty means SensitiveChannels().
+	Channels []Channel
+	// Durations evaluated as prefixes of each capture; empty means
+	// 1 s..5 s, Table III's sweep.
+	Durations []time.Duration
+	// Folds of cross-validation; zero means the paper's 10.
+	Folds int
+	// Trees and MaxDepth of the forest; zero means the paper's 100 / 32.
+	Trees    int
+	MaxDepth int
+	// Bins is the temporal feature resolution; zero means
+	// features.DefaultBins.
+	Bins int
+	// SpectralBins appends the magnitudes of that many low-frequency DFT
+	// coefficients to each feature vector (0 disables). Spectral
+	// features are phase-invariant: they encode the victim's inference
+	// period regardless of where in the loop the capture started.
+	SpectralBins int
+	// Parallelism bounds concurrent trace captures and evaluations; zero
+	// means GOMAXPROCS.
+	Parallelism int
+	// UpdateInterval overrides the sensors' hwmon update interval (the
+	// ablation knob); zero keeps the 35 ms board default.
+	UpdateInterval time.Duration
+}
+
+func (cfg *FingerprintConfig) fillDefaults() {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if len(cfg.Models) == 0 {
+		for _, m := range dpu.Zoo() {
+			cfg.Models = append(cfg.Models, m.Name)
+		}
+	}
+	if cfg.TracesPerModel == 0 {
+		cfg.TracesPerModel = 12
+	}
+	if cfg.TraceDuration == 0 {
+		cfg.TraceDuration = 5 * time.Second
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 200 * time.Millisecond
+	}
+	if len(cfg.Channels) == 0 {
+		cfg.Channels = SensitiveChannels()
+	}
+	if len(cfg.Durations) == 0 {
+		cfg.Durations = []time.Duration{
+			1 * time.Second, 2 * time.Second, 3 * time.Second,
+			4 * time.Second, 5 * time.Second,
+		}
+	}
+	if cfg.Folds == 0 {
+		cfg.Folds = 10
+	}
+	if cfg.Trees == 0 {
+		cfg.Trees = 100
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 32
+	}
+	if cfg.Bins == 0 {
+		cfg.Bins = features.DefaultBins
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+}
+
+func (cfg *FingerprintConfig) validate() error {
+	if cfg.TracesPerModel < cfg.Folds {
+		return fmt.Errorf("core: %d traces/model cannot support %d-fold CV",
+			cfg.TracesPerModel, cfg.Folds)
+	}
+	for _, d := range cfg.Durations {
+		if d > cfg.TraceDuration {
+			return fmt.Errorf("core: duration %v exceeds capture length %v", d, cfg.TraceDuration)
+		}
+	}
+	if cfg.Parallelism < 1 {
+		return errors.New("core: non-positive parallelism")
+	}
+	return nil
+}
+
+// Capture is one victim run observed on every channel simultaneously.
+type Capture struct {
+	// Model is the zoo name of the victim accelerator.
+	Model string
+	// Rep is the repetition index.
+	Rep int
+	// Traces per channel.
+	Traces map[Channel]*trace.Trace
+}
+
+// CollectDPUTraces runs the offline collection phase: for every model
+// and repetition, deploy the DPU on a fresh board, run inference for the
+// capture duration, and record all channels through unprivileged hwmon
+// reads. Captures are returned grouped by model, in cfg.Models order.
+func CollectDPUTraces(cfg FingerprintConfig) ([]*Capture, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	type job struct {
+		model string
+		rep   int
+	}
+	jobs := make([]job, 0, len(cfg.Models)*cfg.TracesPerModel)
+	for _, m := range cfg.Models {
+		if _, err := dpu.ZooModel(m); err != nil {
+			return nil, err
+		}
+		for r := 0; r < cfg.TracesPerModel; r++ {
+			jobs = append(jobs, job{model: m, rep: r})
+		}
+	}
+
+	captures := make([]*Capture, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	for ji, j := range jobs {
+		wg.Add(1)
+		go func(ji int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			captures[ji], errs[ji] = captureOne(cfg, j.model, j.rep)
+		}(ji, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return captures, nil
+}
+
+// captureSeed derives a deterministic per-capture seed from the
+// experiment seed, the model name, and the repetition.
+func captureSeed(root int64, model string, rep int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", model, rep)
+	return root ^ int64(h.Sum64())
+}
+
+// captureOne runs one victim inference session and records every channel.
+func captureOne(cfg FingerprintConfig, modelName string, rep int) (*Capture, error) {
+	b, err := board.NewZCU102(board.Config{
+		Seed:           captureSeed(cfg.Seed, modelName, rep),
+		UpdateInterval: cfg.UpdateInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Victim: deploy the DPU and start the query loop.
+	queries, err := imagenet.New(b.Engine().Stream("queries"))
+	if err != nil {
+		return nil, err
+	}
+	engine, err := dpu.NewEngine(dpu.EngineConfig{
+		Queries:        queries,
+		SetCPUFullUtil: b.CPUFull().SetUtil,
+		SetCPULowUtil:  b.CPULow().SetUtil,
+		SetDDRUtil:     b.DDR().SetUtil,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Fabric().Place(engine, b.Fabric().SpreadEvenly()); err != nil {
+		return nil, err
+	}
+	m, err := dpu.ZooModel(modelName)
+	if err != nil {
+		return nil, err
+	}
+	if err := engine.LoadModel(m); err != nil {
+		return nil, err
+	}
+
+	// Attacker: one recorder per channel at the hwmon update interval.
+	attacker, err := NewAttacker(b.Sysfs(), sysfs.Nobody)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := b.Sensor(board.SensorFPGA)
+	if err != nil {
+		return nil, err
+	}
+	interval := dev.UpdateInterval()
+	recorders := make(map[Channel]*trace.Recorder, len(cfg.Channels))
+	for _, ch := range cfg.Channels {
+		rec, err := attacker.NewRecorder(ch, interval)
+		if err != nil {
+			return nil, err
+		}
+		recorders[ch] = rec
+	}
+
+	b.Run(cfg.Warmup)
+	for ch, rec := range recorders {
+		rec.Reset()
+		if err := b.Engine().Register(fmt.Sprintf("recorder/%s", ch), rec); err != nil {
+			return nil, err
+		}
+	}
+	b.Run(cfg.TraceDuration + interval) // one extra update so prefixes fit
+
+	cap := &Capture{Model: modelName, Rep: rep, Traces: make(map[Channel]*trace.Trace)}
+	for ch, rec := range recorders {
+		tr, err := rec.Trace()
+		if err != nil {
+			return nil, fmt.Errorf("core: channel %v: %w", ch, err)
+		}
+		cap.Traces[ch] = tr
+	}
+	return cap, nil
+}
+
+// AccuracyCell is one Table III cell.
+type AccuracyCell struct {
+	Channel  Channel
+	Duration time.Duration
+	Top1     float64
+	Top5     float64
+}
+
+// FingerprintResult is the Table III grid plus the captures that
+// produced it (reusable for Fig. 3 rendering).
+type FingerprintResult struct {
+	Cells    []AccuracyCell
+	Captures []*Capture
+	// Classes is the number of distinct models (random-guess baseline =
+	// 1/Classes, quoted as 0.0256 in the paper for 39 classes).
+	Classes int
+}
+
+// Cell returns the grid cell for a channel and duration.
+func (r *FingerprintResult) Cell(ch Channel, d time.Duration) (AccuracyCell, error) {
+	for _, c := range r.Cells {
+		if c.Channel == ch && c.Duration == d {
+			return c, nil
+		}
+	}
+	return AccuracyCell{}, fmt.Errorf("core: no cell for %v at %v", ch, d)
+}
+
+// Fingerprint runs the full Table III experiment: offline collection,
+// then per-(channel,duration) cross-validated random-forest evaluation.
+func Fingerprint(cfg FingerprintConfig) (*FingerprintResult, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	captures, err := CollectDPUTraces(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return EvaluateCaptures(cfg, captures)
+}
+
+// EvaluateCaptures runs the classification phase over already-collected
+// captures (separated so ablations can reuse one collection).
+func EvaluateCaptures(cfg FingerprintConfig, captures []*Capture) (*FingerprintResult, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(captures) == 0 {
+		return nil, errors.New("core: no captures")
+	}
+	type cell struct {
+		ch Channel
+		d  time.Duration
+	}
+	var cells []cell
+	for _, ch := range cfg.Channels {
+		for _, d := range cfg.Durations {
+			cells = append(cells, cell{ch, d})
+		}
+	}
+	out := make([]AccuracyCell, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, c cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = evaluateCell(cfg, captures, c.ch, c.d)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	classes := map[string]bool{}
+	for _, c := range captures {
+		classes[c.Model] = true
+	}
+	return &FingerprintResult{Cells: out, Captures: captures, Classes: len(classes)}, nil
+}
+
+// evaluateCell builds the dataset for one channel/duration and runs the
+// cross-validated forest.
+func evaluateCell(cfg FingerprintConfig, captures []*Capture, ch Channel, d time.Duration) (AccuracyCell, error) {
+	var ds features.Dataset
+	for _, cap := range captures {
+		tr, ok := cap.Traces[ch]
+		if !ok {
+			return AccuracyCell{}, fmt.Errorf("core: capture %s/%d lacks channel %v", cap.Model, cap.Rep, ch)
+		}
+		prefix, err := tr.Prefix(d)
+		if err != nil {
+			return AccuracyCell{}, err
+		}
+		vec, err := features.FromTraceWithSpectrum(prefix, cfg.Bins, cfg.SpectralBins)
+		if err != nil {
+			return AccuracyCell{}, err
+		}
+		ds.Add(vec, cap.Model)
+	}
+	seed := captureSeed(cfg.Seed, fmt.Sprintf("eval/%v/%v", ch, d), 0)
+	rng := rand.New(rand.NewSource(seed))
+	res, err := crossval.Evaluate(&ds, rforest.Config{
+		Trees:    cfg.Trees,
+		MaxDepth: cfg.MaxDepth,
+		Rand:     rng,
+	}, cfg.Folds, rng)
+	if err != nil {
+		return AccuracyCell{}, err
+	}
+	return AccuracyCell{Channel: ch, Duration: d, Top1: res.Top1, Top5: res.Top5}, nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"errors"
+	"io/fs"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/sysfs"
+)
+
+// MitigationResult records the Sec. V experiment: what an unprivileged
+// attacker and a privileged monitor can read before and after sensor
+// access is restricted to root.
+type MitigationResult struct {
+	// BeforeAttacker is the unprivileged FPGA current reading before the
+	// mitigation (amps) — the attack works.
+	BeforeAttacker float64
+	// AfterAttackerErr is the error the attacker hits afterwards
+	// (fs.ErrPermission when the mitigation is effective).
+	AfterAttackerErr error
+	// AfterRoot is the privileged reading after the mitigation: benign
+	// root-level monitoring keeps working.
+	AfterRoot float64
+}
+
+// Effective reports whether the mitigation blocked the unprivileged
+// attacker while preserving privileged access.
+func (r *MitigationResult) Effective() bool {
+	return errors.Is(r.AfterAttackerErr, fs.ErrPermission) && r.AfterRoot > 0
+}
+
+// Mitigation runs the paper's proposed countermeasure end to end:
+// restrict the hwmon value attributes to root (Sec. V) and show the
+// unprivileged sampling path dies while root monitoring survives.
+func Mitigation(seed int64) (*MitigationResult, error) {
+	b, err := board.NewZCU102(board.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	b.Run(100 * time.Millisecond) // let the sensors latch
+
+	attacker, err := NewAttacker(b.Sysfs(), sysfs.Nobody)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := attacker.Probe(Channel{Label: board.SensorFPGA, Kind: Current})
+	if err != nil {
+		return nil, err
+	}
+	res := &MitigationResult{}
+	if res.BeforeAttacker, err = probe(); err != nil {
+		return nil, err
+	}
+
+	// The administrator applies the mitigation.
+	if err := b.Hwmon().RestrictAllToRoot(); err != nil {
+		return nil, err
+	}
+
+	_, res.AfterAttackerErr = probe()
+
+	admin, err := NewAttacker(b.Sysfs(), sysfs.Root)
+	if err != nil {
+		return nil, err
+	}
+	rootProbe, err := admin.Probe(Channel{Label: board.SensorFPGA, Kind: Current})
+	if err != nil {
+		return nil, err
+	}
+	if res.AfterRoot, err = rootProbe(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

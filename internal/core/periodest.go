@@ -1,0 +1,39 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// EstimateInferencePeriod recovers the victim's inference-loop period
+// from one channel of a capture via its dominant spectral component.
+// The estimate is bounded below by Nyquist: loops faster than twice the
+// sampling interval alias away, which is exactly why the hwmon update
+// interval (35 ms unprivileged, 2 ms for root) bounds what the attacker
+// can resolve. ok is false when no periodic component stands above the
+// noise floor.
+func EstimateInferencePeriod(capt *Capture, ch Channel) (period time.Duration, ok bool, err error) {
+	if capt == nil {
+		return 0, false, errors.New("core: nil capture")
+	}
+	tr, found := capt.Traces[ch]
+	if !found {
+		return 0, false, fmt.Errorf("core: capture lacks channel %v", ch)
+	}
+	n := len(tr.Samples)
+	if n < 16 {
+		return 0, false, errors.New("core: trace too short for period estimation")
+	}
+	// Search periods from the full window down to 4 samples (twice
+	// Nyquist, for a clean peak).
+	maxBins := n / 4
+	if maxBins > 256 {
+		maxBins = 256
+	}
+	samples, ok, err := tr.DominantPeriod(maxBins, 3.0)
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	return time.Duration(samples * float64(tr.Interval)), true, nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// Capture persistence: the offline phase records once, the analysis
+// phase (cross-validation sweeps, feature ablations) re-reads many
+// times. Channel keys are flattened to "label/kind" strings so the JSON
+// is stable and diffable.
+
+type jsonCapture struct {
+	Model  string                  `json:"model"`
+	Rep    int                     `json:"rep"`
+	Traces map[string]*trace.Trace `json:"traces"`
+}
+
+func channelKey(ch Channel) string { return ch.Label + "/" + string(ch.Kind) }
+
+func parseChannelKey(k string) (Channel, error) {
+	for i := len(k) - 1; i >= 0; i-- {
+		if k[i] == '/' {
+			return Channel{Label: k[:i], Kind: Kind(k[i+1:])}, nil
+		}
+	}
+	return Channel{}, fmt.Errorf("core: bad channel key %q", k)
+}
+
+// SaveCaptures writes captures as a JSON array.
+func SaveCaptures(w io.Writer, captures []*Capture) error {
+	if len(captures) == 0 {
+		return errors.New("core: no captures to save")
+	}
+	out := make([]jsonCapture, 0, len(captures))
+	for _, c := range captures {
+		jc := jsonCapture{Model: c.Model, Rep: c.Rep, Traces: map[string]*trace.Trace{}}
+		for ch, tr := range c.Traces {
+			jc.Traces[channelKey(ch)] = tr
+		}
+		out = append(out, jc)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// LoadCaptures reads captures written by SaveCaptures.
+func LoadCaptures(r io.Reader) ([]*Capture, error) {
+	var in []jsonCapture
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	if len(in) == 0 {
+		return nil, errors.New("core: no captures in stream")
+	}
+	out := make([]*Capture, 0, len(in))
+	for i, jc := range in {
+		if jc.Model == "" || len(jc.Traces) == 0 {
+			return nil, fmt.Errorf("core: capture %d is incomplete", i)
+		}
+		c := &Capture{Model: jc.Model, Rep: jc.Rep, Traces: map[Channel]*trace.Trace{}}
+		for k, tr := range jc.Traces {
+			ch, err := parseChannelKey(k)
+			if err != nil {
+				return nil, err
+			}
+			if tr == nil || tr.Interval <= 0 {
+				return nil, fmt.Errorf("core: capture %d channel %s has a bad trace", i, k)
+			}
+			c.Traces[ch] = tr
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// SurveyRow summarizes one sensor's current channel over the survey
+// window.
+type SurveyRow struct {
+	// Label of the sensor.
+	Label string
+	// Dir is the hwmon directory the attacker polled.
+	Dir string
+	// MeanAmps, StdAmps, RangeAmps summarize the observed samples.
+	MeanAmps  float64
+	StdAmps   float64
+	RangeAmps float64
+}
+
+// Survey is the attacker's triage step: on a board whose labels may be
+// missing or meaningless, poll every discovered sensor's current channel
+// while the victim runs and rank them by observed variation. The FPGA
+// and DDR sensors surface at the top whenever an FPGA workload is
+// active; the 14 misc rails show nothing but noise.
+//
+// The board is advanced by duration during the survey (the attacker
+// simply waits while sampling).
+func Survey(b *board.ZCU102, a *Attacker, duration time.Duration) ([]SurveyRow, error) {
+	if b == nil || a == nil {
+		return nil, errors.New("core: nil board or attacker")
+	}
+	if duration <= 0 {
+		return nil, errors.New("core: non-positive survey duration")
+	}
+	sensors, err := a.Discover()
+	if err != nil {
+		return nil, err
+	}
+	if len(sensors) == 0 {
+		return nil, errors.New("core: no sensors discovered")
+	}
+	dev, err := b.Sensor(sensors[0].Label)
+	if err != nil {
+		return nil, err
+	}
+	interval := dev.UpdateInterval()
+
+	recorders := make([]*trace.Recorder, len(sensors))
+	for i, s := range sensors {
+		rec, err := a.NewRecorder(Channel{Label: s.Label, Kind: Current}, interval)
+		if err != nil {
+			return nil, err
+		}
+		recorders[i] = rec
+		if err := b.Engine().Register("survey/"+s.Label, rec); err != nil {
+			return nil, err
+		}
+	}
+	b.Run(duration)
+
+	rows := make([]SurveyRow, len(sensors))
+	for i, s := range sensors {
+		tr, err := recorders[i].Trace()
+		if err != nil {
+			return nil, err
+		}
+		mean, err := stats.Mean(tr.Samples)
+		if err != nil {
+			return nil, err
+		}
+		std, err := stats.StdDev(tr.Samples)
+		if err != nil {
+			return nil, err
+		}
+		rng, err := stats.Range(tr.Samples)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = SurveyRow{
+			Label: s.Label, Dir: s.Dir,
+			MeanAmps: mean, StdAmps: std, RangeAmps: rng,
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].StdAmps > rows[j].StdAmps })
+	return rows, nil
+}

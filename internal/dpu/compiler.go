@@ -1,0 +1,180 @@
+package dpu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The real DPU executes models as a stream of microcode instructions
+// produced by the Vitis AI compiler: weight/activation loads from DDR
+// into on-chip buffers, convolution bursts on the MAC array, and
+// feature-map saves. This file implements a simplified version of that
+// compiler — layers are tiled to the engine's on-chip buffer sizes and
+// lowered to an instruction stream — plus the program statistics the
+// side-channel analysis cares about (how much of a model's time is
+// spent moving data versus computing).
+//
+// The engine's default schedule (engine.go) uses the per-layer roofline
+// directly; programs offer a finer-grained alternative via
+// Engine.LoadProgram, where LOAD/SAVE instructions are memory-only
+// phases and CONV bursts are compute-bound — the shape a DDR-side
+// observer sees between compute plateaus.
+
+// Opcode classifies a DPU instruction.
+type Opcode string
+
+// The simplified instruction set.
+const (
+	// OpLoad moves weights or activations DDR -> on-chip buffer.
+	OpLoad Opcode = "LOAD"
+	// OpConv runs a MAC-array burst over the loaded tile.
+	OpConv Opcode = "CONV"
+	// OpPool runs a pooling/elementwise pass (memory dominated).
+	OpPool Opcode = "POOL"
+	// OpSave writes a tile's output feature map back to DDR.
+	OpSave Opcode = "SAVE"
+	// OpEnd terminates the program (interrupt to the runtime).
+	OpEnd Opcode = "END"
+)
+
+// Instr is one DPU microcode instruction.
+type Instr struct {
+	// Op is the instruction class.
+	Op Opcode
+	// Bytes moved for LOAD/POOL/SAVE instructions.
+	Bytes int64
+	// MACs executed for CONV instructions.
+	MACs int64
+	// Layer is the source layer's name (diagnostics).
+	Layer string
+	// DWConv marks a depthwise burst (lower array efficiency).
+	DWConv bool
+}
+
+// CompilerConfig bounds the tiling.
+type CompilerConfig struct {
+	// WeightBufBytes is the on-chip weight buffer; zero means 1 MiB.
+	WeightBufBytes int64
+	// ActBufBytes is the on-chip activation buffer; zero means 512 KiB.
+	ActBufBytes int64
+}
+
+func (c *CompilerConfig) fillDefaults() {
+	if c.WeightBufBytes == 0 {
+		c.WeightBufBytes = 1 << 20
+	}
+	if c.ActBufBytes == 0 {
+		c.ActBufBytes = 512 << 10
+	}
+}
+
+// Program is a compiled model.
+type Program struct {
+	// Model the program was compiled from.
+	Model *Model
+	// Instrs in execution order, ending with OpEnd.
+	Instrs []Instr
+}
+
+// Compile lowers a model into a DPU instruction stream, tiling each
+// layer so no single LOAD exceeds the on-chip buffers.
+func Compile(m *Model, cfg CompilerConfig) (*Program, error) {
+	if m == nil {
+		return nil, errors.New("dpu: nil model")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	if cfg.WeightBufBytes < 1024 || cfg.ActBufBytes < 1024 {
+		return nil, errors.New("dpu: on-chip buffers implausibly small")
+	}
+	p := &Program{Model: m}
+	for _, l := range m.Layers {
+		switch l.Type {
+		case Conv, DWConv, Dense:
+			tiles := tilesFor(l, cfg)
+			wPerTile := ceilDiv(l.WeightBytes, int64(tiles))
+			aPerTile := ceilDiv(l.ActivationBytes, int64(tiles))
+			macsPerTile := ceilDiv(l.MACs, int64(tiles))
+			for t := 0; t < tiles; t++ {
+				p.Instrs = append(p.Instrs,
+					Instr{Op: OpLoad, Bytes: wPerTile + aPerTile/2, Layer: l.Name},
+					Instr{Op: OpConv, MACs: macsPerTile, Layer: l.Name, DWConv: l.Type == DWConv},
+					Instr{Op: OpSave, Bytes: aPerTile / 2, Layer: l.Name},
+				)
+			}
+		case Pool, EltWise:
+			p.Instrs = append(p.Instrs, Instr{Op: OpPool, Bytes: l.ActivationBytes, Layer: l.Name})
+		case Softmax:
+			// Runs on the CPU after the final SAVE; no DPU instruction.
+		default:
+			return nil, fmt.Errorf("dpu: layer %s has unknown type %q", l.Name, l.Type)
+		}
+	}
+	p.Instrs = append(p.Instrs, Instr{Op: OpEnd})
+	return p, nil
+}
+
+// tilesFor returns how many tiles a layer needs under the buffer caps.
+func tilesFor(l Layer, cfg CompilerConfig) int {
+	tiles := 1
+	if l.WeightBytes > cfg.WeightBufBytes {
+		tiles = int(ceilDiv(l.WeightBytes, cfg.WeightBufBytes))
+	}
+	if a := int(ceilDiv(l.ActivationBytes, cfg.ActBufBytes)); a > tiles {
+		tiles = a
+	}
+	return tiles
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// Stats summarizes a program.
+type Stats struct {
+	// Instructions per opcode.
+	Counts map[Opcode]int
+	// TotalMACs across CONV instructions.
+	TotalMACs int64
+	// TotalBytes across LOAD/POOL/SAVE instructions.
+	TotalBytes int64
+}
+
+// Stats computes the program summary.
+func (p *Program) Stats() Stats {
+	s := Stats{Counts: make(map[Opcode]int)}
+	for _, in := range p.Instrs {
+		s.Counts[in.Op]++
+		s.TotalMACs += in.MACs
+		s.TotalBytes += in.Bytes
+	}
+	return s
+}
+
+// Validate checks structural invariants: conservation of the model's
+// MACs and a terminating END.
+func (p *Program) Validate() error {
+	if p.Model == nil || len(p.Instrs) == 0 {
+		return errors.New("dpu: empty program")
+	}
+	if p.Instrs[len(p.Instrs)-1].Op != OpEnd {
+		return errors.New("dpu: program does not end with END")
+	}
+	s := p.Stats()
+	want := p.Model.TotalMACs()
+	// Tiling rounds each layer's MACs up; allow one tile of slack per
+	// CONV instruction.
+	if s.TotalMACs < want {
+		return fmt.Errorf("dpu: program loses MACs: %d < %d", s.TotalMACs, want)
+	}
+	if s.TotalMACs > want+int64(s.Counts[OpConv]) {
+		return fmt.Errorf("dpu: program invents MACs: %d > %d (+%d slack)",
+			s.TotalMACs, want, s.Counts[OpConv])
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package dpu
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/imagenet"
+)
+
+func TestCompileValidation(t *testing.T) {
+	if _, err := Compile(nil, CompilerConfig{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := Compile(&Model{}, CompilerConfig{}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	m, _ := ZooModel("MobileNet-V1")
+	if _, err := Compile(m, CompilerConfig{WeightBufBytes: 10}); err == nil {
+		t.Fatal("absurd buffer accepted")
+	}
+}
+
+func TestCompileEveryZooModel(t *testing.T) {
+	for _, m := range Zoo() {
+		p, err := Compile(m, CompilerConfig{})
+		if err != nil {
+			t.Fatalf("%s: Compile: %v", m.Name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: invalid program: %v", m.Name, err)
+		}
+		s := p.Stats()
+		if s.Counts[OpEnd] != 1 {
+			t.Fatalf("%s: END count = %d", m.Name, s.Counts[OpEnd])
+		}
+		if s.Counts[OpConv] == 0 {
+			t.Fatalf("%s: no CONV instructions", m.Name)
+		}
+	}
+}
+
+func TestCompileTilesBigLayers(t *testing.T) {
+	// VGG-19's fc weights (~400 MB at fc1) vastly exceed a 1 MiB buffer:
+	// the compiler must emit many tiles.
+	m, _ := ZooModel("VGG-19")
+	p, err := Compile(m, CompilerConfig{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	s := p.Stats()
+	if s.Counts[OpConv] < 150 {
+		t.Fatalf("VGG-19 CONV tiles = %d, want many (fc layers alone need >100)",
+			s.Counts[OpConv])
+	}
+	// No LOAD may exceed the buffer budget by more than the activation
+	// half-share.
+	for _, in := range p.Instrs {
+		if in.Op == OpLoad && in.Bytes > (1<<20)+(512<<10) {
+			t.Fatalf("LOAD of %d bytes exceeds on-chip buffers (layer %s)", in.Bytes, in.Layer)
+		}
+	}
+}
+
+func TestCompileSmallBuffersMakeMoreTiles(t *testing.T) {
+	m, _ := ZooModel("ResNet-50")
+	big, err := Compile(m, CompilerConfig{WeightBufBytes: 4 << 20, ActBufBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Compile(m, CompilerConfig{WeightBufBytes: 64 << 10, ActBufBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Stats().Counts[OpConv] <= big.Stats().Counts[OpConv] {
+		t.Fatalf("smaller buffers should tile more: %d vs %d",
+			small.Stats().Counts[OpConv], big.Stats().Counts[OpConv])
+	}
+}
+
+func TestProgramValidateCatchesCorruption(t *testing.T) {
+	m, _ := ZooModel("SqueezeNet-1.1")
+	p, err := Compile(m, CompilerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the END.
+	bad := &Program{Model: m, Instrs: p.Instrs[:len(p.Instrs)-1]}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("END-less program accepted")
+	}
+	// Lose MACs.
+	clipped := make([]Instr, len(p.Instrs))
+	copy(clipped, p.Instrs)
+	for i := range clipped {
+		if clipped[i].Op == OpConv {
+			clipped[i].MACs = 0
+		}
+	}
+	bad = &Program{Model: m, Instrs: clipped}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("MAC-less program accepted")
+	}
+	if err := (&Program{}).Validate(); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+func TestEngineRunsProgram(t *testing.T) {
+	h := &testHooks{}
+	e, err := NewEngine(h.config(imagenet.Fixed{Width: 500, Height: 375}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadProgram(nil); err == nil {
+		t.Fatal("nil program accepted")
+	}
+	m, _ := ZooModel("VGG-19") // long CONV bursts, MB-scale LOADs
+	p, err := Compile(m, CompilerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadProgram(p); err != nil {
+		t.Fatalf("LoadProgram: %v", err)
+	}
+	if e.Model() != m {
+		t.Fatal("program did not set the model")
+	}
+	sawMemPhase, sawComputePhase := false, false
+	for now := time.Duration(0); now < 300*time.Millisecond; now += 100 * time.Microsecond {
+		e.Step(now, 100*time.Microsecond)
+		if h.ddr > 0.6 && e.ActiveElements() < 5000 {
+			sawMemPhase = true
+		}
+		if e.ActiveElements() > 25000 {
+			sawComputePhase = true
+		}
+	}
+	if e.Inferences() == 0 {
+		t.Fatal("program engine completed no inference")
+	}
+	if !sawMemPhase || !sawComputePhase {
+		t.Fatalf("program schedule missing phases: mem=%v compute=%v",
+			sawMemPhase, sawComputePhase)
+	}
+}
+
+func TestProgramAndLayerSchedulesComparableDuration(t *testing.T) {
+	// The two schedules model the same work; total inference throughput
+	// should agree within a small factor.
+	run := func(program bool) uint64 {
+		h := &testHooks{}
+		e, _ := NewEngine(h.config(imagenet.Fixed{Width: 500, Height: 375}))
+		m, _ := ZooModel("ResNet-50")
+		if program {
+			p, err := Compile(m, CompilerConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.LoadProgram(p); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := e.LoadModel(m); err != nil {
+			t.Fatal(err)
+		}
+		for now := time.Duration(0); now < time.Second; now += time.Millisecond {
+			e.Step(now, time.Millisecond)
+		}
+		return e.Inferences()
+	}
+	layer, prog := run(false), run(true)
+	if layer == 0 || prog == 0 {
+		t.Fatalf("no inferences: layer=%d prog=%d", layer, prog)
+	}
+	ratio := float64(layer) / float64(prog)
+	if ratio < 0.3 || ratio > 3 {
+		t.Fatalf("throughput ratio layer/program = %v, want within 3x", ratio)
+	}
+}
+
+// Property: compiled programs conserve MACs for every zoo model and any
+// sane buffer size.
+func TestCompileConservationProperty(t *testing.T) {
+	zoo := Zoo()
+	f := func(pick uint8, bufKB uint16) bool {
+		m := zoo[int(pick)%len(zoo)]
+		buf := int64(bufKB%2048+16) << 10
+		p, err := Compile(m, CompilerConfig{WeightBufBytes: buf, ActBufBytes: buf})
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package dpu models the Xilinx Deep Learning Processor Unit (DPU), the
+// encrypted commercial accelerator the paper fingerprints in Sec. IV-B.
+//
+// The real DPU's HDL is encrypted (IEEE-1735), but its side-channel
+// behaviour is governed by quantities an architecture simulator can
+// reproduce: per-layer multiply-accumulate counts, weight and activation
+// traffic, and the roofline imposed by the engine's MAC array and the
+// DDR bandwidth. The package therefore contains
+//
+//   - a layer-level workload description (Layer, Model),
+//   - a zoo of 39 image-recognition architectures across 7 families
+//     mirroring the Vitis AI model suite (zoo.go), and
+//   - an execution engine (engine.go) that schedules a model's layers on
+//     a B4096-class MAC array and emits time-varying activity on the
+//     FPGA, DDR, and CPU rails of the host board.
+package dpu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LayerType classifies a workload layer.
+type LayerType string
+
+// Layer types the zoo uses.
+const (
+	Conv    LayerType = "conv"    // standard convolution
+	DWConv  LayerType = "dwconv"  // depthwise convolution
+	Dense   LayerType = "dense"   // fully connected
+	Pool    LayerType = "pool"    // max/avg pooling
+	EltWise LayerType = "eltwise" // residual adds, concats
+	Softmax LayerType = "softmax" // classifier head (runs on CPU)
+)
+
+// Layer is one schedulable unit of a model.
+type Layer struct {
+	// Name identifies the layer, e.g. "conv3_2".
+	Name string
+	// Type classifies the layer.
+	Type LayerType
+	// MACs is the number of multiply-accumulate operations.
+	MACs int64
+	// WeightBytes is the parameter traffic (INT8 weights, as deployed
+	// through the Vitis AI quantizer).
+	WeightBytes int64
+	// ActivationBytes is the feature-map traffic (read + write).
+	ActivationBytes int64
+}
+
+// Model is a deployable DNN workload.
+type Model struct {
+	// Name of the architecture, e.g. "ResNet-50".
+	Name string
+	// Family groups related architectures, e.g. "ResNet".
+	Family string
+	// InputH, InputW are the network input dimensions; queries are
+	// resized to them on the CPU before inference (the preprocessing
+	// phase visible on the full-power CPU rail).
+	InputH, InputW int
+	// Layers in execution order.
+	Layers []Layer
+}
+
+// Validate checks structural sanity of the model.
+func (m *Model) Validate() error {
+	if m.Name == "" || m.Family == "" {
+		return errors.New("dpu: model needs a name and family")
+	}
+	if m.InputH <= 0 || m.InputW <= 0 {
+		return fmt.Errorf("dpu: model %s: bad input size %dx%d", m.Name, m.InputH, m.InputW)
+	}
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("dpu: model %s has no layers", m.Name)
+	}
+	for i, l := range m.Layers {
+		if l.MACs < 0 || l.WeightBytes < 0 || l.ActivationBytes < 0 {
+			return fmt.Errorf("dpu: model %s layer %d (%s): negative workload", m.Name, i, l.Name)
+		}
+	}
+	return nil
+}
+
+// TotalMACs returns the model's total multiply-accumulate count.
+func (m *Model) TotalMACs() int64 {
+	var t int64
+	for _, l := range m.Layers {
+		t += l.MACs
+	}
+	return t
+}
+
+// ParamBytes returns the model's total parameter size in bytes, the
+// "model size" annotated on Fig. 3.
+func (m *Model) ParamBytes() int64 {
+	var t int64
+	for _, l := range m.Layers {
+		t += l.WeightBytes
+	}
+	return t
+}
+
+// ActivationTraffic returns the total feature-map traffic in bytes.
+func (m *Model) ActivationTraffic() int64 {
+	var t int64
+	for _, l := range m.Layers {
+		t += l.ActivationBytes
+	}
+	return t
+}
+
+// shape tracks the feature-map dimensions while building a model.
+type shape struct{ h, w, c int }
+
+// builder constructs a model layer by layer, computing MAC counts and
+// traffic from convolution arithmetic so the zoo's workloads follow the
+// real architectures' proportions.
+type builder struct {
+	m   *Model
+	cur shape
+	n   int
+}
+
+func newBuilder(name, family string, inputH, inputW, inputC int) *builder {
+	return &builder{
+		m:   &Model{Name: name, Family: family, InputH: inputH, InputW: inputW},
+		cur: shape{h: inputH, w: inputW, c: inputC},
+	}
+}
+
+func outDim(in, k, stride int) int {
+	// SAME padding as used throughout the supported nets.
+	return (in + stride - 1) / stride
+}
+
+func (b *builder) add(l Layer) {
+	b.n++
+	if l.Name == "" {
+		l.Name = fmt.Sprintf("%s_%d", l.Type, b.n)
+	}
+	b.m.Layers = append(b.m.Layers, l)
+}
+
+// conv appends a k×k convolution with the given stride and output
+// channels.
+func (b *builder) conv(k, stride, outC int) {
+	oh, ow := outDim(b.cur.h, k, stride), outDim(b.cur.w, k, stride)
+	macs := int64(k) * int64(k) * int64(b.cur.c) * int64(outC) * int64(oh) * int64(ow)
+	weights := int64(k)*int64(k)*int64(b.cur.c)*int64(outC) + int64(outC) // + bias
+	acts := int64(b.cur.h)*int64(b.cur.w)*int64(b.cur.c) + int64(oh)*int64(ow)*int64(outC)
+	b.add(Layer{Type: Conv, MACs: macs, WeightBytes: weights, ActivationBytes: acts})
+	b.cur = shape{h: oh, w: ow, c: outC}
+}
+
+// dwconv appends a depthwise k×k convolution.
+func (b *builder) dwconv(k, stride int) {
+	oh, ow := outDim(b.cur.h, k, stride), outDim(b.cur.w, k, stride)
+	c := b.cur.c
+	macs := int64(k) * int64(k) * int64(c) * int64(oh) * int64(ow)
+	weights := int64(k)*int64(k)*int64(c) + int64(c)
+	acts := int64(b.cur.h)*int64(b.cur.w)*int64(c) + int64(oh)*int64(ow)*int64(c)
+	b.add(Layer{Type: DWConv, MACs: macs, WeightBytes: weights, ActivationBytes: acts})
+	b.cur = shape{h: oh, w: ow, c: c}
+}
+
+// pool appends a k×k pooling layer (no weights, light compute).
+func (b *builder) pool(k, stride int) {
+	oh, ow := outDim(b.cur.h, k, stride), outDim(b.cur.w, k, stride)
+	acts := int64(b.cur.h)*int64(b.cur.w)*int64(b.cur.c) + int64(oh)*int64(ow)*int64(b.cur.c)
+	b.add(Layer{Type: Pool, MACs: 0, ActivationBytes: acts})
+	b.cur = shape{h: oh, w: ow, c: b.cur.c}
+}
+
+// gap appends global average pooling, collapsing spatial dims to 1×1.
+func (b *builder) gap() {
+	acts := int64(b.cur.h)*int64(b.cur.w)*int64(b.cur.c) + int64(b.cur.c)
+	b.add(Layer{Name: "gap", Type: Pool, ActivationBytes: acts})
+	b.cur = shape{h: 1, w: 1, c: b.cur.c}
+}
+
+// dense appends a fully connected layer.
+func (b *builder) dense(out int) {
+	in := b.cur.h * b.cur.w * b.cur.c
+	macs := int64(in) * int64(out)
+	weights := int64(in)*int64(out) + int64(out)
+	acts := int64(in) + int64(out)
+	b.add(Layer{Type: Dense, MACs: macs, WeightBytes: weights, ActivationBytes: acts})
+	b.cur = shape{h: 1, w: 1, c: out}
+}
+
+// eltwise appends a residual add or concat over the current map.
+func (b *builder) eltwise() {
+	acts := 3 * int64(b.cur.h) * int64(b.cur.w) * int64(b.cur.c) // two reads, one write
+	b.add(Layer{Type: EltWise, ActivationBytes: acts})
+}
+
+// setChannels overrides the channel count (after a concat).
+func (b *builder) setChannels(c int) { b.cur.c = c }
+
+// softmax appends the classifier head; on a real deployment it runs on
+// the CPU after the DPU output transfer.
+func (b *builder) softmax(classes int) {
+	b.add(Layer{Name: "softmax", Type: Softmax, ActivationBytes: int64(2 * classes)})
+}
+
+func (b *builder) build() *Model { return b.m }

@@ -1,0 +1,156 @@
+package dpu
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Profiling: where a model's inference time goes on the engine's
+// roofline, layer by layer. The per-layer durations are exactly the
+// segment lengths the side channel modulates, so the profile explains a
+// model's Fig. 3 signature: long compute-bound stretches read as high
+// current plateaus, memory-bound layers as DDR bursts.
+
+// Bottleneck classifies what limits a layer.
+type Bottleneck string
+
+// Bottleneck kinds.
+const (
+	// ComputeBound layers saturate the MAC array.
+	ComputeBound Bottleneck = "compute"
+	// MemoryBound layers saturate the DDR bandwidth.
+	MemoryBound Bottleneck = "memory"
+	// CPUBound layers run on the processor (softmax).
+	CPUBound Bottleneck = "cpu"
+)
+
+// LayerProfile is one layer's schedule entry.
+type LayerProfile struct {
+	// Name and Type of the layer.
+	Name string
+	Type LayerType
+	// Duration on the engine's roofline.
+	Duration time.Duration
+	// Bound is the limiting resource.
+	Bound Bottleneck
+	// ComputeUtil is the MAC-array utilization during the layer.
+	ComputeUtil float64
+	// MemoryUtil is the DDR-bandwidth utilization during the layer.
+	MemoryUtil float64
+}
+
+// Profile is a model's full schedule analysis.
+type Profile struct {
+	// Model profiled.
+	Model string
+	// Layers in execution order.
+	Layers []LayerProfile
+	// Total inference time (excluding preprocessing and gaps).
+	Total time.Duration
+	// ComputeTime and MemoryTime are the durations dominated by each
+	// resource.
+	ComputeTime time.Duration
+	MemoryTime  time.Duration
+}
+
+// ProfileModel analyzes a model against an engine configuration (the
+// zero EngineConfig profiles the default B4096-class engine — the hook
+// fields are not needed for analysis).
+func ProfileModel(m *Model, cfg EngineConfig) (*Profile, error) {
+	if m == nil {
+		return nil, errors.New("dpu: nil model")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	// Reuse the engine's defaulting; analysis needs no hooks or queries.
+	if cfg.ClockHz == 0 {
+		cfg.ClockHz = 300e6
+	}
+	if cfg.MACsPerCycle == 0 {
+		cfg.MACsPerCycle = 2048
+	}
+	if cfg.ConvEfficiency == 0 {
+		cfg.ConvEfficiency = 0.7
+	}
+	if cfg.DWConvEfficiency == 0 {
+		cfg.DWConvEfficiency = 0.25
+	}
+	if cfg.DDRBandwidth == 0 {
+		cfg.DDRBandwidth = 10e9
+	}
+	cycleRate := cfg.MACsPerCycle * cfg.ClockHz
+
+	p := &Profile{Model: m.Name}
+	for _, l := range m.Layers {
+		lp := LayerProfile{Name: l.Name, Type: l.Type}
+		if l.Type == Softmax {
+			lp.Duration = 500 * time.Microsecond
+			lp.Bound = CPUBound
+			p.Layers = append(p.Layers, lp)
+			p.Total += lp.Duration
+			continue
+		}
+		eff := cfg.ConvEfficiency
+		if l.Type == DWConv {
+			eff = cfg.DWConvEfficiency
+		}
+		tc := float64(l.MACs) / (cycleRate * eff)
+		tm := float64(l.WeightBytes+l.ActivationBytes) / cfg.DDRBandwidth
+		dur := tc
+		lp.Bound = ComputeBound
+		if tm > dur {
+			dur = tm
+			lp.Bound = MemoryBound
+		}
+		if dur <= 0 {
+			continue
+		}
+		lp.Duration = time.Duration(dur * float64(time.Second))
+		lp.ComputeUtil = tc / dur
+		lp.MemoryUtil = tm / dur
+		p.Layers = append(p.Layers, lp)
+		p.Total += lp.Duration
+		if lp.Bound == ComputeBound {
+			p.ComputeTime += lp.Duration
+		} else {
+			p.MemoryTime += lp.Duration
+		}
+	}
+	if len(p.Layers) == 0 {
+		return nil, fmt.Errorf("dpu: model %s has no schedulable layers", m.Name)
+	}
+	return p, nil
+}
+
+// TopLayers returns the n longest layers, longest first.
+func (p *Profile) TopLayers(n int) []LayerProfile {
+	out := append([]LayerProfile(nil), p.Layers...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Render writes a human-readable profile summary.
+func (p *Profile) Render(w io.Writer, topN int) error {
+	_, err := fmt.Fprintf(w, "%s: %v per inference (%.0f%% compute-bound, %.0f%% memory-bound)\n",
+		p.Model, p.Total.Round(10*time.Microsecond),
+		100*p.ComputeTime.Seconds()/p.Total.Seconds(),
+		100*p.MemoryTime.Seconds()/p.Total.Seconds())
+	if err != nil {
+		return err
+	}
+	for _, l := range p.TopLayers(topN) {
+		if _, err := fmt.Fprintf(w, "  %-14s %-8s %-8s %8v  (mac %.0f%%, ddr %.0f%%)\n",
+			l.Name, l.Type, l.Bound, l.Duration.Round(time.Microsecond),
+			100*l.ComputeUtil, 100*l.MemoryUtil); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+// Package hwmon models the Linux hardware-monitoring ("hwmon") class
+// through which AmpereBleed samples the INA226 sensors.
+//
+// Each registered sensor appears as class/hwmon/hwmonN in the simulated
+// sysfs tree with the standard attribute files and units of the hwmon
+// ABI (Documentation/hwmon/sysfs-interface):
+//
+//	name            driver name ("ina226")
+//	label           board designator, e.g. "ina226_u79"
+//	curr1_input     current in integer milliamps (world-readable)
+//	in1_input       bus voltage in integer millivolts (world-readable)
+//	power1_input    power in integer microwatts (world-readable)
+//	shunt_resistor  shunt value in microohms (world-readable)
+//	update_interval interval in milliseconds (root-writable)
+//
+// World-readable value attributes plus a root-gated update interval are
+// precisely the access-control facts of Sec. III-C: an unprivileged
+// process can poll at will but is pinned to the default 35 ms rate.
+package hwmon
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/ina226"
+	"repro/internal/sysfs"
+)
+
+// ClassDir is where the subsystem lives inside the sysfs tree.
+const ClassDir = "class/hwmon"
+
+// DriverName is the value of every entry's "name" attribute.
+const DriverName = "ina226"
+
+// Entry is one registered sensor.
+type Entry struct {
+	// Index is N in hwmonN.
+	Index int
+	// Label is the board designator ("ina226_u76", ...).
+	Label string
+	// Dir is the sysfs directory of the entry, e.g. "class/hwmon/hwmon0".
+	Dir string
+	// Device is the underlying sensor model.
+	Device *ina226.Device
+}
+
+// Attr returns the sysfs path of one of the entry's attribute files.
+func (e *Entry) Attr(name string) string { return e.Dir + "/" + name }
+
+// Subsystem registers sensors into a sysfs tree.
+type Subsystem struct {
+	fs      *sysfs.FS
+	entries []*Entry
+	byLabel map[string]*Entry
+}
+
+// New returns a subsystem rooted in the given tree. The class directory
+// is created immediately so discovery of an empty subsystem works.
+func New(fs *sysfs.FS) (*Subsystem, error) {
+	if fs == nil {
+		return nil, errors.New("hwmon: nil sysfs")
+	}
+	if err := fs.MkdirAll(ClassDir); err != nil {
+		return nil, err
+	}
+	return &Subsystem{fs: fs, byLabel: make(map[string]*Entry)}, nil
+}
+
+// FS returns the underlying sysfs tree.
+func (s *Subsystem) FS() *sysfs.FS { return s.fs }
+
+// Entries returns all registered entries in registration order.
+func (s *Subsystem) Entries() []*Entry { return append([]*Entry(nil), s.entries...) }
+
+// ByLabel returns the entry with the given board designator.
+func (s *Subsystem) ByLabel(label string) (*Entry, bool) {
+	e, ok := s.byLabel[label]
+	return e, ok
+}
+
+// Register exposes a sensor as the next hwmonN directory.
+func (s *Subsystem) Register(dev *ina226.Device) (*Entry, error) {
+	if dev == nil {
+		return nil, errors.New("hwmon: nil device")
+	}
+	label := dev.Label()
+	if _, dup := s.byLabel[label]; dup {
+		return nil, fmt.Errorf("hwmon: label %q already registered", label)
+	}
+	e := &Entry{
+		Index:  len(s.entries),
+		Label:  label,
+		Device: dev,
+	}
+	e.Dir = fmt.Sprintf("%s/hwmon%d", ClassDir, e.Index)
+
+	ro := func(show func() (string, error)) sysfs.Attr {
+		return sysfs.Attr{Mode: sysfs.ModeRO, Show: show}
+	}
+	attrs := map[string]sysfs.Attr{
+		"name":  ro(func() (string, error) { return DriverName + "\n", nil }),
+		"label": ro(func() (string, error) { return label + "\n", nil }),
+		"curr1_input": ro(func() (string, error) {
+			return formatMilli(dev.Read().CurrentAmps), nil
+		}),
+		"in1_input": ro(func() (string, error) {
+			return formatMilli(dev.Read().BusVolts), nil
+		}),
+		"power1_input": ro(func() (string, error) {
+			return formatMicro(dev.Read().PowerWatts), nil
+		}),
+		"shunt_resistor": ro(func() (string, error) {
+			return formatMicro(dev.ShuntOhms()), nil
+		}),
+		"update_interval": {
+			Mode: sysfs.ModeRW,
+			Show: func() (string, error) {
+				ms := dev.UpdateInterval().Milliseconds()
+				return strconv.FormatInt(ms, 10) + "\n", nil
+			},
+			Store: func(v string) error {
+				ms, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+				if err != nil {
+					return fmt.Errorf("hwmon: bad update_interval %q: %w", v, err)
+				}
+				return dev.SetUpdateInterval(time.Duration(ms) * time.Millisecond)
+			},
+		},
+	}
+	for name, a := range attrs {
+		if err := s.fs.AddAttr(e.Attr(name), a); err != nil {
+			return nil, err
+		}
+	}
+	s.entries = append(s.entries, e)
+	s.byLabel[label] = e
+	return e, nil
+}
+
+// TempDriverName is the "name" attribute of temperature nodes (the
+// ZCU102's PS sysmon exposes die temperature the same way).
+const TempDriverName = "sysmon"
+
+// RegisterTemperature exposes a die-temperature source as the next
+// hwmonN node with the standard temp1_input attribute (millidegrees
+// Celsius, world-readable). Like the current sensors, it is an
+// unprivileged side channel: it reveals the thermal residue of recent
+// FPGA activity.
+func (s *Subsystem) RegisterTemperature(label string, tempC func() float64) (*Entry, error) {
+	if tempC == nil {
+		return nil, errors.New("hwmon: nil temperature source")
+	}
+	if _, dup := s.byLabel[label]; dup {
+		return nil, fmt.Errorf("hwmon: label %q already registered", label)
+	}
+	e := &Entry{Index: len(s.entries), Label: label}
+	e.Dir = fmt.Sprintf("%s/hwmon%d", ClassDir, e.Index)
+	attrs := map[string]sysfs.Attr{
+		"name": {Mode: sysfs.ModeRO, Show: func() (string, error) {
+			return TempDriverName + "\n", nil
+		}},
+		"label": {Mode: sysfs.ModeRO, Show: func() (string, error) {
+			return label + "\n", nil
+		}},
+		"temp1_input": {Mode: sysfs.ModeRO, Show: func() (string, error) {
+			return formatMilli(tempC()), nil
+		}},
+	}
+	for name, a := range attrs {
+		if err := s.fs.AddAttr(e.Attr(name), a); err != nil {
+			return nil, err
+		}
+	}
+	s.entries = append(s.entries, e)
+	s.byLabel[label] = e
+	return e, nil
+}
+
+// ValueAttrs are the measurement attributes the mitigation locks down.
+var ValueAttrs = []string{"curr1_input", "in1_input", "power1_input"}
+
+// RestrictToRoot applies the paper's mitigation (Sec. V) to one sensor:
+// its measurement attributes become readable by root only. Temperature
+// nodes are locked down via their temp1_input attribute.
+func (s *Subsystem) RestrictToRoot(label string) error {
+	e, ok := s.byLabel[label]
+	if !ok {
+		return fmt.Errorf("hwmon: unknown label %q", label)
+	}
+	for _, a := range append([]string{"temp1_input"}, ValueAttrs...) {
+		if !s.fs.Exists(e.Attr(a)) {
+			continue
+		}
+		if err := s.fs.SetMode(e.Attr(a), sysfs.ModeRootOnly); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestrictAllToRoot applies RestrictToRoot to every registered sensor.
+func (s *Subsystem) RestrictAllToRoot() error {
+	for _, e := range s.entries {
+		if err := s.RestrictToRoot(e.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatMilli renders a value in thousandths, as hwmon reports mA and mV.
+func formatMilli(v float64) string {
+	return strconv.FormatInt(int64(roundHalfAway(v*1e3)), 10) + "\n"
+}
+
+// formatMicro renders a value in millionths, as hwmon reports µW and µΩ.
+func formatMicro(v float64) string {
+	return strconv.FormatInt(int64(roundHalfAway(v*1e6)), 10) + "\n"
+}
+
+func roundHalfAway(v float64) float64 {
+	if v >= 0 {
+		return float64(int64(v + 0.5))
+	}
+	return float64(int64(v - 0.5))
+}

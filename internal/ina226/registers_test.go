@@ -1,0 +1,236 @@
+package ina226
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func runDev(d *Device, dur time.Duration) {
+	const dt = 100 * time.Microsecond
+	for now := time.Duration(0); now < dur; now += dt {
+		d.Step(now, dt)
+	}
+}
+
+func TestIdentityRegisters(t *testing.T) {
+	d := newDev(t, 1, 0.85)
+	manuf, err := d.ReadRegister(RegManufacturerID)
+	if err != nil || manuf != 0x5449 {
+		t.Fatalf("manufacturer = %#x, %v (want 0x5449 'TI')", manuf, err)
+	}
+	die, err := d.ReadRegister(RegDieID)
+	if err != nil || die != 0x2260 {
+		t.Fatalf("die = %#x, %v (want 0x2260)", die, err)
+	}
+	// Identity registers reject writes.
+	if err := d.WriteRegister(RegManufacturerID, 0); err == nil {
+		t.Fatal("manufacturer ID writable")
+	}
+}
+
+func TestMeasurementRegistersMatchAccessors(t *testing.T) {
+	d := newDev(t, 6, 0.85)
+	runDev(d, 35*time.Millisecond)
+	cases := []struct {
+		reg  Register
+		want int32
+	}{
+		{RegShuntVoltage, d.RegShunt()},
+		{RegBusVoltage, d.RegBus()},
+		{RegCurrent, d.RegCurrent()},
+		{RegPower, d.RegPower()},
+	}
+	for _, c := range cases {
+		v, err := d.ReadRegister(c.reg)
+		if err != nil {
+			t.Fatalf("read %#x: %v", c.reg, err)
+		}
+		if int32(int16(v)) != c.want && int32(v) != c.want {
+			t.Errorf("register %#x = %d, accessor = %d", c.reg, v, c.want)
+		}
+	}
+	// Measurement registers are read-only.
+	for _, r := range []Register{RegShuntVoltage, RegBusVoltage, RegCurrent, RegPower} {
+		if err := d.WriteRegister(r, 1); err == nil {
+			t.Errorf("register %#x writable", r)
+		}
+	}
+}
+
+func TestUnknownRegister(t *testing.T) {
+	d := newDev(t, 1, 0.85)
+	if _, err := d.ReadRegister(Register(0x42)); err == nil {
+		t.Fatal("unknown register read accepted")
+	}
+	if err := d.WriteRegister(Register(0x42), 0); err == nil {
+		t.Fatal("unknown register write accepted")
+	}
+}
+
+func TestCalibrationWriteRetunesCurrentLSB(t *testing.T) {
+	d := newDev(t, 6, 0.85)
+	// Halve CAL: current LSB doubles (coarser).
+	orig, _ := d.ReadRegister(RegCalibration)
+	if err := d.WriteRegister(RegCalibration, orig/2); err != nil {
+		t.Fatalf("write CAL: %v", err)
+	}
+	if math.Abs(d.CurrentLSB()-2e-3) > 1e-9 {
+		t.Fatalf("CurrentLSB = %v, want 2 mA after halving CAL", d.CurrentLSB())
+	}
+	runDev(d, 35*time.Millisecond)
+	r := d.Read()
+	// 6 A still reads ~6 A, now on a 2 mA grid.
+	if math.Abs(r.CurrentAmps-6.0) > 4e-3 {
+		t.Fatalf("recalibrated current = %v", r.CurrentAmps)
+	}
+	if err := d.WriteRegister(RegCalibration, 0); err == nil {
+		t.Fatal("zero CAL accepted")
+	}
+}
+
+func TestConfigWriteSetsInterval(t *testing.T) {
+	d := newDev(t, 1, 0.85)
+	// AVG=4 (001), VBUSCT=1.1ms (100), VSHCT=1.1ms (100), mode 7:
+	// interval = 4*(1.1+1.1)ms = 8.8 ms.
+	cfg := uint16(1)<<cfgAvgShift | uint16(4)<<cfgVBusShift | uint16(4)<<cfgVShShift | 0x7
+	if err := d.WriteRegister(RegConfig, cfg); err != nil {
+		t.Fatalf("write config: %v", err)
+	}
+	if got := d.UpdateInterval(); got != 8800*time.Microsecond {
+		t.Fatalf("interval = %v, want 8.8ms", got)
+	}
+	if d.Averages() != 4 {
+		t.Fatalf("Averages = %d", d.Averages())
+	}
+	// A tiny configuration clamps to the 2 ms hwmon floor.
+	cfg = uint16(0)<<cfgAvgShift | uint16(0)<<cfgVBusShift | uint16(0)<<cfgVShShift | 0x7
+	if err := d.WriteRegister(RegConfig, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.UpdateInterval(); got != MinUpdateInterval {
+		t.Fatalf("interval = %v, want clamp to 2ms", got)
+	}
+}
+
+func TestConfigResetBit(t *testing.T) {
+	d := newDev(t, 6, 0.85)
+	runDev(d, 35*time.Millisecond)
+	if d.RegCurrent() == 0 {
+		t.Fatal("precondition: expected a latched reading")
+	}
+	if err := d.WriteRegister(RegConfig, 1<<cfgResetBit); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	if d.RegCurrent() != 0 || d.RegBus() != 0 {
+		t.Fatal("reset did not clear measurement registers")
+	}
+	cfgReg, _ := d.ReadRegister(RegConfig)
+	if cfgReg != cfgDefault {
+		t.Fatalf("config after reset = %#x, want %#x", cfgReg, cfgDefault)
+	}
+}
+
+func TestSetUpdateIntervalUpdatesAvgBits(t *testing.T) {
+	d := newDev(t, 1, 0.85)
+	if err := d.SetUpdateInterval(2 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// 2 ms at 2.2 ms/conversion-pair: AVG=1 is nearest.
+	if d.Averages() != 1 {
+		t.Fatalf("Averages = %d, want 1", d.Averages())
+	}
+	if err := d.SetUpdateInterval(35 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// 35 ms / 2.2 ms = 15.9: AVG=16 is nearest.
+	if d.Averages() != 16 {
+		t.Fatalf("Averages = %d, want 16", d.Averages())
+	}
+}
+
+func TestAlertShuntOverLimit(t *testing.T) {
+	d := newDev(t, 6, 0.85) // 6 A
+	limit := d.ShuntLimitFromAmps(5.0)
+	if err := d.WriteRegister(RegAlertLimit, limit); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteRegister(RegMaskEnable, AlertShuntOver); err != nil {
+		t.Fatal(err)
+	}
+	if d.Alert() {
+		t.Fatal("alert before any conversion")
+	}
+	runDev(d, 35*time.Millisecond)
+	if !d.Alert() {
+		t.Fatal("6 A did not trip a 5 A over-current alert")
+	}
+	me, _ := d.ReadRegister(RegMaskEnable)
+	if me&AlertFunctionFlag == 0 {
+		t.Fatal("AFF not visible in mask/enable register")
+	}
+}
+
+func TestAlertClearsWhenConditionGone(t *testing.T) {
+	amps := 6.0
+	probe := Probe{
+		CurrentAmps: func() float64 { return amps },
+		BusVolts:    func() float64 { return 0.85 },
+	}
+	d, err := New(Config{Label: "x", ShuntOhms: 0.002, CurrentLSB: 1e-3, Probe: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteRegister(RegAlertLimit, d.ShuntLimitFromAmps(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteRegister(RegMaskEnable, AlertShuntOver); err != nil {
+		t.Fatal(err)
+	}
+	runDev(d, 35*time.Millisecond)
+	if !d.Alert() {
+		t.Fatal("alert did not fire")
+	}
+	amps = 1.0
+	runDev(d, 35*time.Millisecond)
+	if d.Alert() {
+		t.Fatal("alert stuck after condition cleared")
+	}
+}
+
+func TestAlertBusUnderLimit(t *testing.T) {
+	d := newDev(t, 1, 0.70) // bus at 0.70 V
+	// Limit: 0.80 V in 1.25 mV LSBs = 640.
+	if err := d.WriteRegister(RegAlertLimit, 640); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteRegister(RegMaskEnable, AlertBusUnder); err != nil {
+		t.Fatal(err)
+	}
+	runDev(d, 35*time.Millisecond)
+	if !d.Alert() {
+		t.Fatal("under-voltage alert did not fire")
+	}
+}
+
+func TestAlertPowerOverLimit(t *testing.T) {
+	d := newDev(t, 6, 0.85) // ~5.1 W -> power reg 204
+	if err := d.WriteRegister(RegAlertLimit, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteRegister(RegMaskEnable, AlertPowerOver); err != nil {
+		t.Fatal(err)
+	}
+	runDev(d, 35*time.Millisecond)
+	if !d.Alert() {
+		t.Fatal("power-over-limit alert did not fire")
+	}
+}
+
+func TestNoAlertFunctionSelected(t *testing.T) {
+	d := newDev(t, 6, 0.85)
+	runDev(d, 35*time.Millisecond)
+	if d.Alert() {
+		t.Fatal("alert with no function selected")
+	}
+}

@@ -1,0 +1,148 @@
+package leakage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSNRSeparatedGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func(mean float64) []float64 {
+		out := make([]float64, 200)
+		for i := range out {
+			out[i] = mean + rng.NormFloat64()
+		}
+		return out
+	}
+	snr, err := SNR([][]float64{mk(0), mk(10), mk(20)})
+	if err != nil {
+		t.Fatalf("SNR: %v", err)
+	}
+	// Signal variance ~ Var({0,10,20}) = 66.7, noise ~1 -> SNR ~66.
+	if snr < 40 || snr > 100 {
+		t.Fatalf("SNR = %v, want ~66", snr)
+	}
+}
+
+func TestSNRIdenticalGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mk := func() []float64 {
+		out := make([]float64, 500)
+		for i := range out {
+			out[i] = rng.NormFloat64()
+		}
+		return out
+	}
+	snr, err := SNR([][]float64{mk(), mk(), mk()})
+	if err != nil {
+		t.Fatalf("SNR: %v", err)
+	}
+	if snr > 0.05 {
+		t.Fatalf("SNR = %v on identical distributions, want ~0", snr)
+	}
+}
+
+func TestSNRErrors(t *testing.T) {
+	if _, err := SNR([][]float64{{1, 2}}); err == nil {
+		t.Fatal("one group accepted")
+	}
+	if _, err := SNR([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("singleton group accepted")
+	}
+}
+
+func TestSNRZeroNoise(t *testing.T) {
+	snr, err := SNR([][]float64{{1, 1}, {2, 2}})
+	if err != nil {
+		t.Fatalf("SNR: %v", err)
+	}
+	if !math.IsInf(snr, 1) {
+		t.Fatalf("SNR = %v, want +Inf for noiseless distinct groups", snr)
+	}
+	snr, err = SNR([][]float64{{1, 1}, {1, 1}})
+	if err != nil || snr != 0 {
+		t.Fatalf("constant equal groups SNR = %v, %v", snr, err)
+	}
+}
+
+func TestWelchTKnownValue(t *testing.T) {
+	// Symmetric case: t = (ma-mb)/sqrt(va/na+vb/nb).
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{3, 4, 5, 6, 7}
+	tt, err := WelchT(a, b)
+	if err != nil {
+		t.Fatalf("WelchT: %v", err)
+	}
+	want := (3.0 - 5.0) / math.Sqrt(2.5/5+2.5/5)
+	if math.Abs(tt-want) > 1e-12 {
+		t.Fatalf("t = %v, want %v", tt, want)
+	}
+}
+
+func TestWelchTErrorsAndDegenerate(t *testing.T) {
+	if _, err := WelchT([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("singleton accepted")
+	}
+	tt, err := WelchT([]float64{2, 2}, []float64{2, 2})
+	if err != nil || tt != 0 {
+		t.Fatalf("identical constants: t=%v err=%v", tt, err)
+	}
+	tt, err = WelchT([]float64{3, 3}, []float64{2, 2})
+	if err != nil || !math.IsInf(tt, 1) {
+		t.Fatalf("distinct constants: t=%v err=%v", tt, err)
+	}
+}
+
+func TestTVLA(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	fixed := make([]float64, 500)
+	random := make([]float64, 500)
+	for i := range fixed {
+		fixed[i] = 1.0 + 0.01*rng.NormFloat64()
+		random[i] = 1.1 + 0.01*rng.NormFloat64() // clearly different mean
+	}
+	res, err := TVLA(fixed, random)
+	if err != nil {
+		t.Fatalf("TVLA: %v", err)
+	}
+	if !res.Leaks {
+		t.Fatalf("TVLA missed an obvious leak (t=%v)", res.T)
+	}
+	// Same distribution: no leak.
+	for i := range random {
+		random[i] = 1.0 + 0.01*rng.NormFloat64()
+	}
+	res, err = TVLA(fixed, random)
+	if err != nil {
+		t.Fatalf("TVLA: %v", err)
+	}
+	if res.Leaks {
+		t.Fatalf("TVLA false positive (t=%v)", res.T)
+	}
+}
+
+// Property: WelchT is antisymmetric: t(a,b) = -t(b,a).
+func TestWelchTAntisymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 20)
+		b := make([]float64, 30)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64() + 1
+		}
+		t1, err1 := WelchT(a, b)
+		t2, err2 := WelchT(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(t1+t2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

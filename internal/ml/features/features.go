@@ -1,0 +1,124 @@
+// Package features converts side-channel traces into the fixed-width
+// vectors the random-forest classifier consumes: an average-pooled
+// resampling of the trace (its temporal shape) plus summary statistics
+// (its amplitude distribution). The combination captures both the
+// per-model current *patterns* of Fig. 3 and the mean-level differences
+// between models.
+package features
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// DefaultBins is the default temporal resolution of a feature vector.
+const DefaultBins = 64
+
+// summaryWidth is the number of appended summary statistics.
+const summaryWidth = 6
+
+// Width returns the feature-vector width for a given bin count.
+func Width(bins int) int { return bins + summaryWidth }
+
+// FromTrace converts one trace into a feature vector of Width(bins)
+// values: bins average-pooled samples followed by mean, standard
+// deviation, min, max, and the quartiles Q1 and Q3.
+func FromTrace(t *trace.Trace, bins int) ([]float64, error) {
+	if t == nil {
+		return nil, errors.New("features: nil trace")
+	}
+	vec, err := t.Resample(bins)
+	if err != nil {
+		return nil, err
+	}
+	mean, err := stats.Mean(t.Samples)
+	if err != nil {
+		return nil, err
+	}
+	std, err := stats.StdDev(t.Samples)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := stats.Summary(t.Samples)
+	if err != nil {
+		return nil, err
+	}
+	return append(vec, mean, std, sum.Min, sum.Max, sum.Q1, sum.Q3), nil
+}
+
+// WidthWithSpectrum returns the feature width when spectral bins are
+// appended.
+func WidthWithSpectrum(bins, spectralBins int) int {
+	return Width(bins) + spectralBins
+}
+
+// FromTraceWithSpectrum extends FromTrace with the magnitudes of the
+// first spectralBins DFT coefficients — a phase-invariant encoding of
+// the victim's loop periodicity. spectralBins of zero degenerates to
+// FromTrace.
+func FromTraceWithSpectrum(t *trace.Trace, bins, spectralBins int) ([]float64, error) {
+	vec, err := FromTrace(t, bins)
+	if err != nil {
+		return nil, err
+	}
+	if spectralBins == 0 {
+		return vec, nil
+	}
+	mags, err := t.Spectrum(spectralBins)
+	if err != nil {
+		return nil, err
+	}
+	return append(vec, mags...), nil
+}
+
+// Dataset is a labelled feature matrix.
+type Dataset struct {
+	// X holds one feature vector per sample.
+	X [][]float64
+	// Y holds the class index of each sample.
+	Y []int
+	// Classes maps class indices to names.
+	Classes []string
+}
+
+// Add appends a sample with the given class name, interning the class.
+func (d *Dataset) Add(x []float64, class string) {
+	for i, c := range d.Classes {
+		if c == class {
+			d.X = append(d.X, x)
+			d.Y = append(d.Y, i)
+			return
+		}
+	}
+	d.Classes = append(d.Classes, class)
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, len(d.Classes)-1)
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Validate checks internal consistency.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("features: %d vectors vs %d labels", len(d.X), len(d.Y))
+	}
+	if len(d.X) == 0 {
+		return errors.New("features: empty dataset")
+	}
+	w := len(d.X[0])
+	for i, x := range d.X {
+		if len(x) != w {
+			return fmt.Errorf("features: sample %d width %d, want %d", i, len(x), w)
+		}
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= len(d.Classes) {
+			return fmt.Errorf("features: label %d of sample %d out of range", y, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func mkTrace(samples ...float64) *trace.Trace {
+	return &trace.Trace{Interval: time.Millisecond, Samples: samples}
+}
+
+func TestWidth(t *testing.T) {
+	if Width(64) != 70 {
+		t.Fatalf("Width(64) = %d, want 70", Width(64))
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	tr := mkTrace(1, 3, 5, 7)
+	vec, err := FromTrace(tr, 2)
+	if err != nil {
+		t.Fatalf("FromTrace: %v", err)
+	}
+	if len(vec) != Width(2) {
+		t.Fatalf("vector width = %d, want %d", len(vec), Width(2))
+	}
+	// Bins: [2, 6]; mean 4; min 1; max 7.
+	if vec[0] != 2 || vec[1] != 6 {
+		t.Fatalf("bins = %v", vec[:2])
+	}
+	if vec[2] != 4 {
+		t.Fatalf("mean = %v", vec[2])
+	}
+	if vec[4] != 1 || vec[5] != 7 {
+		t.Fatalf("min/max = %v/%v", vec[4], vec[5])
+	}
+	// std of {1,3,5,7} population = sqrt(5).
+	if math.Abs(vec[3]-math.Sqrt(5)) > 1e-12 {
+		t.Fatalf("std = %v", vec[3])
+	}
+}
+
+func TestFromTraceErrors(t *testing.T) {
+	if _, err := FromTrace(nil, 4); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	if _, err := FromTrace(mkTrace(), 4); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := FromTrace(mkTrace(1, 2), 0); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+}
+
+func TestFromTraceWithSpectrum(t *testing.T) {
+	tr := mkTrace(1, 3, 5, 7, 5, 3, 1, 3)
+	vec, err := FromTraceWithSpectrum(tr, 2, 3)
+	if err != nil {
+		t.Fatalf("FromTraceWithSpectrum: %v", err)
+	}
+	if len(vec) != WidthWithSpectrum(2, 3) {
+		t.Fatalf("width = %d, want %d", len(vec), WidthWithSpectrum(2, 3))
+	}
+	// Zero spectral bins degenerates to FromTrace.
+	base, err := FromTraceWithSpectrum(tr, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != Width(2) {
+		t.Fatalf("degenerate width = %d", len(base))
+	}
+	if _, err := FromTraceWithSpectrum(mkTrace(1), 1, 2); err == nil {
+		t.Fatal("spectrum on one-sample trace accepted")
+	}
+}
+
+func TestDatasetAddInternsClasses(t *testing.T) {
+	var ds Dataset
+	ds.Add([]float64{1}, "ResNet-50")
+	ds.Add([]float64{2}, "VGG-19")
+	ds.Add([]float64{3}, "ResNet-50")
+	if len(ds.Classes) != 2 {
+		t.Fatalf("Classes = %v", ds.Classes)
+	}
+	if ds.Y[0] != 0 || ds.Y[1] != 1 || ds.Y[2] != 0 {
+		t.Fatalf("Y = %v", ds.Y)
+	}
+	if ds.Len() != 3 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestDatasetValidate(t *testing.T) {
+	bad := []Dataset{
+		{},
+		{X: [][]float64{{1}}, Y: []int{0, 1}, Classes: []string{"a"}},
+		{X: [][]float64{{1}, {1, 2}}, Y: []int{0, 0}, Classes: []string{"a"}},
+		{X: [][]float64{{1}}, Y: []int{5}, Classes: []string{"a"}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("case %d: invalid dataset accepted", i)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+// Package rforest is a from-scratch random-forest classifier matching
+// the paper's configuration: 100 trees, maximum depth 32, Gini impurity
+// as the splitting criterion, bootstrap sampling per tree, and a random
+// feature subset evaluated at every split.
+package rforest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config holds the forest hyperparameters. The zero value of each field
+// selects the paper's setting.
+type Config struct {
+	// Trees is the ensemble size; zero means 100.
+	Trees int
+	// MaxDepth limits tree depth; zero means 32.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf; zero means 1.
+	MinLeaf int
+	// FeaturesPerSplit is the number of candidate features per split;
+	// zero means ⌈√F⌉.
+	FeaturesPerSplit int
+	// Rand drives bootstrap sampling and feature selection. Required.
+	Rand *rand.Rand
+}
+
+// node is one decision-tree node, stored flat in the tree's node slice.
+type node struct {
+	feature   int // -1 for leaves
+	threshold float64
+	left      int32
+	right     int32
+	// class histogram at the node (leaves only), normalized.
+	proba []float64
+}
+
+type tree struct{ nodes []node }
+
+// Forest is a trained random forest.
+type Forest struct {
+	cfg        Config
+	trees      []tree
+	features   int
+	classes    int
+	importance []float64
+}
+
+// Train fits a forest on samples X with labels Y in [0, classes).
+func Train(cfg Config, X [][]float64, Y []int, classes int) (*Forest, error) {
+	if cfg.Trees == 0 {
+		cfg.Trees = 100
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 32
+	}
+	if cfg.MinLeaf == 0 {
+		cfg.MinLeaf = 1
+	}
+	if cfg.Rand == nil {
+		return nil, errors.New("rforest: nil random stream")
+	}
+	if cfg.Trees < 1 || cfg.MaxDepth < 1 || cfg.MinLeaf < 1 {
+		return nil, errors.New("rforest: non-positive hyperparameter")
+	}
+	if len(X) == 0 || len(X) != len(Y) {
+		return nil, fmt.Errorf("rforest: %d samples vs %d labels", len(X), len(Y))
+	}
+	if classes < 2 {
+		return nil, errors.New("rforest: need at least two classes")
+	}
+	nFeat := len(X[0])
+	if nFeat == 0 {
+		return nil, errors.New("rforest: zero-width feature vectors")
+	}
+	for i, x := range X {
+		if len(x) != nFeat {
+			return nil, fmt.Errorf("rforest: sample %d has %d features, want %d", i, len(x), nFeat)
+		}
+	}
+	for i, y := range Y {
+		if y < 0 || y >= classes {
+			return nil, fmt.Errorf("rforest: label %d of sample %d outside [0,%d)", y, i, classes)
+		}
+	}
+	if cfg.FeaturesPerSplit == 0 {
+		cfg.FeaturesPerSplit = int(math.Ceil(math.Sqrt(float64(nFeat))))
+	}
+	if cfg.FeaturesPerSplit < 1 || cfg.FeaturesPerSplit > nFeat {
+		return nil, fmt.Errorf("rforest: features per split %d outside [1,%d]", cfg.FeaturesPerSplit, nFeat)
+	}
+
+	f := &Forest{cfg: cfg, features: nFeat, classes: classes}
+	f.trees = make([]tree, cfg.Trees)
+	f.importance = make([]float64, nFeat)
+	b := &builder{cfg: cfg, X: X, Y: Y, classes: classes,
+		importance: make([]float64, nFeat)}
+	for t := range f.trees {
+		// Bootstrap: sample len(X) indices with replacement.
+		idx := make([]int, len(X))
+		for i := range idx {
+			idx[i] = cfg.Rand.Intn(len(X))
+		}
+		b.nodes = nil
+		b.total = len(idx)
+		b.grow(idx, 0)
+		f.trees[t] = tree{nodes: b.nodes}
+		b.nodes = nil
+	}
+	// Normalize the accumulated impurity decreases to sum to 1.
+	var total float64
+	for _, v := range b.importance {
+		total += v
+	}
+	if total > 0 {
+		for i, v := range b.importance {
+			f.importance[i] = v / total
+		}
+	}
+	return f, nil
+}
+
+// Importances returns the normalized mean decrease in Gini impurity per
+// feature (summing to 1 when any split occurred) — which parts of the
+// trace the classifier actually keyed on.
+func (f *Forest) Importances() []float64 {
+	return append([]float64(nil), f.importance...)
+}
+
+// builder grows one tree.
+type builder struct {
+	cfg        Config
+	X          [][]float64
+	Y          []int
+	classes    int
+	nodes      []node
+	total      int       // bootstrap sample size, for importance weights
+	importance []float64 // accumulated impurity decrease per feature
+}
+
+// grow builds the subtree over the given sample indices and returns its
+// node index.
+func (b *builder) grow(idx []int, depth int) int32 {
+	hist := make([]float64, b.classes)
+	for _, i := range idx {
+		hist[b.Y[i]]++
+	}
+	pure := 0
+	for _, c := range hist {
+		if c > 0 {
+			pure++
+		}
+	}
+	id := int32(len(b.nodes))
+	b.nodes = append(b.nodes, node{feature: -1})
+	if pure <= 1 || depth >= b.cfg.MaxDepth || len(idx) < 2*b.cfg.MinLeaf {
+		b.leaf(id, hist, len(idx))
+		return id
+	}
+	feat, thr, ok := b.bestSplit(idx, hist)
+	if !ok {
+		b.leaf(id, hist, len(idx))
+		return id
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.cfg.MinLeaf || len(right) < b.cfg.MinLeaf {
+		b.leaf(id, hist, len(idx))
+		return id
+	}
+	b.accumulateImportance(feat, hist, left, right)
+	l := b.grow(left, depth+1)
+	r := b.grow(right, depth+1)
+	b.nodes[id].feature = feat
+	b.nodes[id].threshold = thr
+	b.nodes[id].left = l
+	b.nodes[id].right = r
+	return id
+}
+
+// accumulateImportance records the split's weighted Gini decrease.
+func (b *builder) accumulateImportance(feat int, hist []float64, left, right []int) {
+	n := float64(len(left) + len(right))
+	lh := make([]float64, b.classes)
+	rh := make([]float64, b.classes)
+	for _, i := range left {
+		lh[b.Y[i]]++
+	}
+	for _, i := range right {
+		rh[b.Y[i]]++
+	}
+	nl, nr := float64(len(left)), float64(len(right))
+	decrease := gini(hist, n) - nl/n*gini(lh, nl) - nr/n*gini(rh, nr)
+	if decrease > 0 {
+		b.importance[feat] += n / float64(b.total) * decrease
+	}
+}
+
+func (b *builder) leaf(id int32, hist []float64, n int) {
+	proba := make([]float64, len(hist))
+	if n > 0 {
+		for i, c := range hist {
+			proba[i] = c / float64(n)
+		}
+	}
+	b.nodes[id].proba = proba
+}
+
+// bestSplit searches a random feature subset for the threshold with the
+// lowest weighted Gini impurity.
+func (b *builder) bestSplit(idx []int, hist []float64) (feat int, thr float64, ok bool) {
+	n := float64(len(idx))
+	bestGini := math.Inf(1)
+
+	// Sample cfg.FeaturesPerSplit distinct features (partial shuffle).
+	feats := b.cfg.Rand.Perm(len(b.X[0]))[:b.cfg.FeaturesPerSplit]
+
+	type pair struct {
+		v float64
+		y int
+	}
+	pairs := make([]pair, len(idx))
+	leftHist := make([]float64, b.classes)
+	rightHist := make([]float64, b.classes)
+
+	for _, f := range feats {
+		for i, s := range idx {
+			pairs[i] = pair{v: b.X[s][f], y: b.Y[s]}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+		for i := range leftHist {
+			leftHist[i] = 0
+			rightHist[i] = hist[i]
+		}
+		// Sweep split positions between distinct values.
+		for i := 0; i < len(pairs)-1; i++ {
+			leftHist[pairs[i].y]++
+			rightHist[pairs[i].y]--
+			if pairs[i].v == pairs[i+1].v {
+				continue
+			}
+			nl := float64(i + 1)
+			nr := n - nl
+			g := nl/n*gini(leftHist, nl) + nr/n*gini(rightHist, nr)
+			if g < bestGini {
+				bestGini = g
+				feat = f
+				thr = (pairs[i].v + pairs[i+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+// gini computes the Gini impurity of a class histogram with total n.
+func gini(hist []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	s := 1.0
+	for _, c := range hist {
+		p := c / n
+		s -= p * p
+	}
+	return s
+}
+
+// Features returns the feature-vector width the forest was trained on.
+func (f *Forest) Features() int { return f.features }
+
+// Classes returns the number of classes.
+func (f *Forest) Classes() int { return f.classes }
+
+// Trees returns the ensemble size.
+func (f *Forest) Trees() int { return len(f.trees) }
+
+// Proba returns the mean class distribution across the ensemble.
+func (f *Forest) Proba(x []float64) ([]float64, error) {
+	if len(x) != f.features {
+		return nil, fmt.Errorf("rforest: sample has %d features, want %d", len(x), f.features)
+	}
+	out := make([]float64, f.classes)
+	for _, t := range f.trees {
+		i := int32(0)
+		for t.nodes[i].feature >= 0 {
+			n := t.nodes[i]
+			if x[n.feature] <= n.threshold {
+				i = n.left
+			} else {
+				i = n.right
+			}
+		}
+		for c, p := range t.nodes[i].proba {
+			out[c] += p
+		}
+	}
+	for c := range out {
+		out[c] /= float64(len(f.trees))
+	}
+	return out, nil
+}
+
+// Predict returns the most probable class.
+func (f *Forest) Predict(x []float64) (int, error) {
+	top, err := f.TopK(x, 1)
+	if err != nil {
+		return 0, err
+	}
+	return top[0], nil
+}
+
+// TopK returns the k most probable classes in descending order of
+// probability (ties broken by class index, deterministically).
+func (f *Forest) TopK(x []float64, k int) ([]int, error) {
+	if k < 1 || k > f.classes {
+		return nil, fmt.Errorf("rforest: k %d outside [1,%d]", k, f.classes)
+	}
+	proba, err := f.Proba(x)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, f.classes)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return proba[order[a]] > proba[order[b]] })
+	return order[:k], nil
+}

@@ -1,0 +1,160 @@
+// Package pdn models the power delivery network between a board's
+// voltage regulator modules and a monitored rail.
+//
+// It implements the two electrical facts the AmpereBleed paper builds on:
+//
+// Equation 1 — in an (idealized, stabilizer-free) shared PDN, a load
+// increase produces a voltage drop with a resistive and an inductive
+// component:
+//
+//	V_drop = I·R + L·ΔI/Δt
+//
+// This is the quantity crafted sensor circuits (ring oscillators, TDC
+// lines, ...) observe.
+//
+// The stabilizer — commercial boards regulate the FPGA core rail into a
+// tight band (0.825–0.876 V on Zynq UltraScale+, 0.775–0.825 V on
+// Versal, Table I), which squeezes the voltage channel to a few LSBs
+// while the *current* keeps tracking power linearly. The Regulator type
+// models exactly that: a load-line sag plus the RLC transient, hard
+// clamped into the band.
+package pdn
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/power"
+)
+
+// DropModel is the equivalent series impedance of a PDN path.
+type DropModel struct {
+	// ResistanceOhm is the effective series resistance R.
+	ResistanceOhm float64
+	// InductanceHenry is the effective series inductance L.
+	InductanceHenry float64
+}
+
+// Drop returns V_drop for a present current i, previous current prev, and
+// step dt (Equation 1). dt must be positive.
+func (m DropModel) Drop(i, prev float64, dt time.Duration) float64 {
+	didt := (i - prev) / dt.Seconds()
+	return i*m.ResistanceOhm + m.InductanceHenry*didt
+}
+
+// Band is a closed voltage interval maintained by a stabilizer.
+type Band struct {
+	Min, Max float64
+}
+
+// Contains reports whether v lies inside the band.
+func (b Band) Contains(v float64) bool { return v >= b.Min && v <= b.Max }
+
+// Clamp returns v limited to the band.
+func (b Band) Clamp(v float64) float64 {
+	if v < b.Min {
+		return b.Min
+	}
+	if v > b.Max {
+		return b.Max
+	}
+	return v
+}
+
+// Width returns the band width in volts.
+func (b Band) Width() float64 { return b.Max - b.Min }
+
+// RegulatorConfig configures a rail regulator.
+type RegulatorConfig struct {
+	// Rail is the regulated rail. Required.
+	Rail *power.Rail
+	// Band is the stabilizer's guaranteed output window. Required with
+	// Min < Max; the rail's nominal voltage must lie inside it.
+	Band Band
+	// Drop is the PDN series impedance feeding the rail.
+	Drop DropModel
+	// LoadLineOhm is the regulator's DC load-line (output droop per amp).
+	// Real VRMs deliberately program a small droop; with the stabilizer
+	// this is what produces the weak residual voltage/load correlation
+	// the paper measures (Pearson 0.958 but only a few LSBs of swing).
+	LoadLineOhm float64
+	// Enabled=false bypasses regulation entirely: the rail sees the raw
+	// nominal-minus-drop voltage. Used by the stabilizer-off ablation to
+	// show why RO-style sensors work on an unstabilized PDN.
+	Disabled bool
+}
+
+// Regulator holds a rail inside its stabilizer band.
+//
+// Register it with the simulation engine after the rail it regulates, so
+// each tick it sees the rail current computed that same tick.
+type Regulator struct {
+	rail     *power.Rail
+	band     Band
+	drop     DropModel
+	loadLine float64
+	enabled  bool
+
+	prevCurrent float64
+	lastDrop    float64 // raw (pre-clamp) drop of the last tick, for tests
+}
+
+// NewRegulator validates cfg and returns a regulator.
+func NewRegulator(cfg RegulatorConfig) (*Regulator, error) {
+	if cfg.Rail == nil {
+		return nil, errors.New("pdn: regulator needs a rail")
+	}
+	if cfg.Band.Min <= 0 || cfg.Band.Min >= cfg.Band.Max {
+		return nil, fmt.Errorf("pdn: invalid band [%v,%v]", cfg.Band.Min, cfg.Band.Max)
+	}
+	if !cfg.Band.Contains(cfg.Rail.NominalVoltage()) {
+		return nil, fmt.Errorf("pdn: nominal %v V outside band [%v,%v]",
+			cfg.Rail.NominalVoltage(), cfg.Band.Min, cfg.Band.Max)
+	}
+	if cfg.LoadLineOhm < 0 || cfg.Drop.ResistanceOhm < 0 || cfg.Drop.InductanceHenry < 0 {
+		return nil, errors.New("pdn: negative impedance")
+	}
+	return &Regulator{
+		rail:     cfg.Rail,
+		band:     cfg.Band,
+		drop:     cfg.Drop,
+		loadLine: cfg.LoadLineOhm,
+		enabled:  !cfg.Disabled,
+	}, nil
+}
+
+// Band returns the stabilizer band.
+func (r *Regulator) Band() Band { return r.band }
+
+// Enabled reports whether stabilization is active.
+func (r *Regulator) Enabled() bool { return r.enabled }
+
+// SetEnabled switches stabilization on or off (ablation hook).
+func (r *Regulator) SetEnabled(on bool) { r.enabled = on }
+
+// RawDrop returns the unclamped V_drop computed on the last tick. It is
+// what a co-resident crafted sensor on an ideal shared PDN would see.
+func (r *Regulator) RawDrop() float64 { return r.lastDrop }
+
+// Step implements sim.Steppable.
+func (r *Regulator) Step(now, dt time.Duration) {
+	i := r.rail.Current()
+	r.lastDrop = r.drop.Drop(i, r.prevCurrent, dt)
+	r.prevCurrent = i
+
+	nominal := r.rail.NominalVoltage()
+	if !r.enabled {
+		v := nominal - r.lastDrop
+		if v < 0 {
+			v = 0
+		}
+		r.rail.SetVoltage(v)
+		return
+	}
+	// Stabilized: the VRM compensates the PDN drop, leaving only its
+	// programmed load-line droop, and the output is guaranteed to stay
+	// inside the band.
+	v := nominal - r.loadLine*i
+	r.rail.SetVoltage(r.band.Clamp(v))
+}

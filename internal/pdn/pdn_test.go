@@ -1,0 +1,211 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/power"
+)
+
+func mkRail(t *testing.T) *power.Rail {
+	t.Helper()
+	r, err := power.NewRail(power.RailConfig{Name: "VCCINT", NominalVoltage: 0.85, StaticCurrent: 0})
+	if err != nil {
+		t.Fatalf("NewRail: %v", err)
+	}
+	return r
+}
+
+var usBand = Band{Min: 0.825, Max: 0.876} // Zynq UltraScale+ band from Table I
+
+func TestDropModel(t *testing.T) {
+	m := DropModel{ResistanceOhm: 0.01, InductanceHenry: 1e-9}
+	// Steady state: only I*R.
+	d := m.Drop(2, 2, time.Millisecond)
+	if math.Abs(d-0.02) > 1e-12 {
+		t.Fatalf("steady drop = %v, want 0.02", d)
+	}
+	// Transient adds L*dI/dt: dI=1A over 1us -> 1e6 A/s * 1e-9 H = 1mV.
+	d = m.Drop(3, 2, time.Microsecond)
+	want := 0.03 + 1e-3
+	if math.Abs(d-want) > 1e-12 {
+		t.Fatalf("transient drop = %v, want %v", d, want)
+	}
+	// Falling current gives a negative inductive term (overshoot).
+	d = m.Drop(1, 2, time.Microsecond)
+	if d >= 0.01 {
+		t.Fatalf("falling-current drop = %v, want < 0.01", d)
+	}
+}
+
+func TestBand(t *testing.T) {
+	if !usBand.Contains(0.85) || usBand.Contains(0.9) || usBand.Contains(0.8) {
+		t.Fatal("Contains wrong")
+	}
+	if usBand.Clamp(0.9) != 0.876 || usBand.Clamp(0.8) != 0.825 || usBand.Clamp(0.85) != 0.85 {
+		t.Fatal("Clamp wrong")
+	}
+	if math.Abs(usBand.Width()-0.051) > 1e-12 {
+		t.Fatalf("Width = %v", usBand.Width())
+	}
+}
+
+func TestNewRegulatorValidation(t *testing.T) {
+	rail := mkRail(t)
+	cases := []RegulatorConfig{
+		{},           // nil rail
+		{Rail: rail}, // zero band
+		{Rail: rail, Band: Band{Min: 0.9, Max: 0.8}},  // inverted band
+		{Rail: rail, Band: Band{Min: 0.9, Max: 0.95}}, // nominal outside band
+		{Rail: rail, Band: usBand, LoadLineOhm: -1},
+		{Rail: rail, Band: usBand, Drop: DropModel{ResistanceOhm: -1}},
+	}
+	for i, cfg := range cases {
+		if _, err := NewRegulator(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRegulatorHoldsBand(t *testing.T) {
+	rail := mkRail(t)
+	reg, err := NewRegulator(RegulatorConfig{
+		Rail: rail, Band: usBand,
+		Drop:        DropModel{ResistanceOhm: 0.02, InductanceHenry: 1e-9},
+		LoadLineOhm: 0.002,
+	})
+	if err != nil {
+		t.Fatalf("NewRegulator: %v", err)
+	}
+	load := &power.ConstantSource{Name: "load", Amps: 0}
+	rail.MustAttach(load)
+	// Sweep load from 0 to 40 A; voltage must never leave the band.
+	for a := 0.0; a <= 40; a += 0.5 {
+		load.Amps = a
+		rail.Step(0, time.Millisecond)
+		reg.Step(0, time.Millisecond)
+		if !usBand.Contains(rail.Voltage()) {
+			t.Fatalf("voltage %v outside band at %v A", rail.Voltage(), a)
+		}
+	}
+}
+
+func TestRegulatorLoadLineMonotone(t *testing.T) {
+	rail := mkRail(t)
+	reg, err := NewRegulator(RegulatorConfig{
+		Rail: rail, Band: usBand, LoadLineOhm: 0.001,
+	})
+	if err != nil {
+		t.Fatalf("NewRegulator: %v", err)
+	}
+	load := &power.ConstantSource{Name: "load", Amps: 0}
+	rail.MustAttach(load)
+	prev := math.Inf(1)
+	for a := 0.0; a <= 10; a++ {
+		load.Amps = a
+		rail.Step(0, time.Millisecond)
+		reg.Step(0, time.Millisecond)
+		v := rail.Voltage()
+		if v > prev {
+			t.Fatalf("voltage rose with load: %v -> %v at %v A", prev, v, a)
+		}
+		prev = v
+	}
+	// At 10 A the droop is 10mV: 0.85-0.01 = 0.84 -> clamped to 0.825? No:
+	// 0.84 > 0.825, stays.
+	if math.Abs(rail.Voltage()-0.84) > 1e-12 {
+		t.Fatalf("voltage = %v, want 0.84", rail.Voltage())
+	}
+}
+
+func TestRegulatorDisabledExposesDrop(t *testing.T) {
+	rail := mkRail(t)
+	reg, err := NewRegulator(RegulatorConfig{
+		Rail: rail, Band: usBand,
+		Drop:     DropModel{ResistanceOhm: 0.05},
+		Disabled: true,
+	})
+	if err != nil {
+		t.Fatalf("NewRegulator: %v", err)
+	}
+	if reg.Enabled() {
+		t.Fatal("Disabled config but Enabled() true")
+	}
+	load := &power.ConstantSource{Name: "load", Amps: 2}
+	rail.MustAttach(load)
+	rail.Step(0, time.Millisecond)
+	reg.Step(0, time.Millisecond)
+	// Unregulated: 0.85 - 2*0.05 = 0.75, well below the band.
+	if math.Abs(rail.Voltage()-0.75) > 1e-12 {
+		t.Fatalf("voltage = %v, want 0.75", rail.Voltage())
+	}
+	if usBand.Contains(rail.Voltage()) {
+		t.Fatal("unstabilized voltage unexpectedly inside band")
+	}
+	if math.Abs(reg.RawDrop()-0.1) > 1e-12 {
+		t.Fatalf("RawDrop = %v, want 0.1", reg.RawDrop())
+	}
+}
+
+func TestRegulatorToggle(t *testing.T) {
+	rail := mkRail(t)
+	reg, err := NewRegulator(RegulatorConfig{Rail: rail, Band: usBand})
+	if err != nil {
+		t.Fatalf("NewRegulator: %v", err)
+	}
+	if !reg.Enabled() {
+		t.Fatal("default should be enabled")
+	}
+	reg.SetEnabled(false)
+	if reg.Enabled() {
+		t.Fatal("SetEnabled(false) ignored")
+	}
+	if reg.Band() != usBand {
+		t.Fatalf("Band = %+v", reg.Band())
+	}
+}
+
+func TestRegulatorClampsToZeroWhenDisabled(t *testing.T) {
+	rail := mkRail(t)
+	reg, err := NewRegulator(RegulatorConfig{
+		Rail: rail, Band: usBand,
+		Drop: DropModel{ResistanceOhm: 1}, Disabled: true,
+	})
+	if err != nil {
+		t.Fatalf("NewRegulator: %v", err)
+	}
+	load := &power.ConstantSource{Name: "load", Amps: 10}
+	rail.MustAttach(load)
+	rail.Step(0, time.Millisecond)
+	reg.Step(0, time.Millisecond)
+	if rail.Voltage() != 0 {
+		t.Fatalf("collapsed rail voltage = %v, want 0", rail.Voltage())
+	}
+}
+
+// Property: with stabilization on, voltage is always inside the band
+// regardless of load.
+func TestRegulatorBandProperty(t *testing.T) {
+	f := func(load uint16) bool {
+		rail, err := power.NewRail(power.RailConfig{Name: "p", NominalVoltage: 0.85})
+		if err != nil {
+			return false
+		}
+		reg, err := NewRegulator(RegulatorConfig{
+			Rail: rail, Band: usBand, LoadLineOhm: 0.01,
+			Drop: DropModel{ResistanceOhm: 0.1, InductanceHenry: 1e-8},
+		})
+		if err != nil {
+			return false
+		}
+		rail.MustAttach(&power.ConstantSource{Name: "l", Amps: float64(load) / 100})
+		rail.Step(0, time.Millisecond)
+		reg.Step(0, time.Millisecond)
+		return usBand.Contains(rail.Voltage())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package power
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// ThermalMass models the die's first-order thermal behaviour and its
+// feedback into leakage: junction temperature follows dissipated power
+// through a thermal resistance with an RC time constant, and the rail's
+// static (leakage) current grows exponentially-approximately-linearly
+// with temperature. The result is the slow upward drift of idle current
+// after a sustained workload — a second-order side channel of its own
+// (the thermal residue of a victim's recent activity survives after the
+// workload stops).
+type ThermalMass struct {
+	rail *Rail
+
+	ambient float64 // °C
+	rth     float64 // K/W junction-to-ambient
+	tau     float64 // seconds, thermal RC constant
+	tempCo  float64 // fractional leakage increase per kelvin
+	ref     float64 // °C at which the rail's nominal static current holds
+
+	temp float64 // present junction temperature, °C
+}
+
+// ThermalConfig parameterizes a ThermalMass.
+type ThermalConfig struct {
+	// Rail whose power heats the die and whose static current drifts.
+	// Required.
+	Rail *Rail
+	// AmbientC is the ambient temperature; zero means 25 °C.
+	AmbientC float64
+	// RthKPerW is the junction-to-ambient thermal resistance; zero means
+	// 0.5 K/W (a heatsinked ZU9EG).
+	RthKPerW float64
+	// TauSeconds is the thermal time constant; zero means 10 s.
+	TauSeconds float64
+	// LeakagePerK is the fractional static-current increase per kelvin;
+	// zero means 0.004 (+0.4 %/K, a typical FinFET leakage slope).
+	LeakagePerK float64
+}
+
+// NewThermalMass validates cfg and returns a mass at ambient.
+func NewThermalMass(cfg ThermalConfig) (*ThermalMass, error) {
+	if cfg.Rail == nil {
+		return nil, errors.New("power: thermal mass needs a rail")
+	}
+	if cfg.AmbientC == 0 {
+		cfg.AmbientC = 25
+	}
+	if cfg.RthKPerW == 0 {
+		cfg.RthKPerW = 0.5
+	}
+	if cfg.TauSeconds == 0 {
+		cfg.TauSeconds = 10
+	}
+	if cfg.LeakagePerK == 0 {
+		cfg.LeakagePerK = 0.004
+	}
+	if cfg.RthKPerW < 0 || cfg.TauSeconds <= 0 || cfg.LeakagePerK < 0 {
+		return nil, errors.New("power: invalid thermal parameters")
+	}
+	return &ThermalMass{
+		rail:    cfg.Rail,
+		ambient: cfg.AmbientC,
+		rth:     cfg.RthKPerW,
+		tau:     cfg.TauSeconds,
+		tempCo:  cfg.LeakagePerK,
+		ref:     cfg.AmbientC,
+		temp:    cfg.AmbientC,
+	}, nil
+}
+
+// TemperatureC returns the present junction temperature.
+func (t *ThermalMass) TemperatureC() float64 { return t.temp }
+
+// Step implements sim.Steppable. Register it after the rail it heats so
+// it integrates this tick's power; the leakage scale it writes takes
+// effect on the next tick — the physical one-tick lag of a thermal loop.
+func (t *ThermalMass) Step(now, dt time.Duration) {
+	target := t.ambient + t.rail.Power()*t.rth
+	alpha := 1 - math.Exp(-dt.Seconds()/t.tau)
+	t.temp += (target - t.temp) * alpha
+	t.rail.SetStaticScale(1 + t.tempCo*(t.temp-t.ref))
+}

@@ -1,0 +1,104 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func thermalRail(t *testing.T) *Rail {
+	t.Helper()
+	r, err := NewRail(RailConfig{Name: "VCCINT", NominalVoltage: 0.85, StaticCurrent: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewThermalMassValidation(t *testing.T) {
+	if _, err := NewThermalMass(ThermalConfig{}); err == nil {
+		t.Fatal("nil rail accepted")
+	}
+	r := thermalRail(t)
+	if _, err := NewThermalMass(ThermalConfig{Rail: r, TauSeconds: -1}); err == nil {
+		t.Fatal("negative tau accepted")
+	}
+	if _, err := NewThermalMass(ThermalConfig{Rail: r, LeakagePerK: -1}); err == nil {
+		t.Fatal("negative leakage slope accepted")
+	}
+	tm, err := NewThermalMass(ThermalConfig{Rail: r})
+	if err != nil {
+		t.Fatalf("NewThermalMass: %v", err)
+	}
+	if tm.TemperatureC() != 25 {
+		t.Fatalf("initial T = %v, want ambient 25", tm.TemperatureC())
+	}
+}
+
+func TestThermalHeatsUnderLoadAndRaisesLeakage(t *testing.T) {
+	r := thermalRail(t)
+	tm, err := NewThermalMass(ThermalConfig{Rail: r, RthKPerW: 2, TauSeconds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := &ConstantSource{Name: "load", Amps: 5} // ~4.25 W
+	r.MustAttach(load)
+	dt := 10 * time.Millisecond
+	for i := 0; i < 500; i++ { // 5 s >> tau
+		r.Step(0, dt)
+		tm.Step(0, dt)
+	}
+	// Steady state: T = 25 + P*Rth; P grows slightly as leakage rises.
+	if tm.TemperatureC() < 32 || tm.TemperatureC() > 36 {
+		t.Fatalf("T = %v, want ~33-34 °C", tm.TemperatureC())
+	}
+	if r.StaticScale() <= 1.02 {
+		t.Fatalf("leakage scale = %v, want noticeably above 1", r.StaticScale())
+	}
+	// Remove the load: temperature and leakage relax back.
+	load.Amps = 0
+	for i := 0; i < 1000; i++ {
+		r.Step(0, dt)
+		tm.Step(0, dt)
+	}
+	if math.Abs(tm.TemperatureC()-25.4) > 0.5 { // residual self-heating only
+		t.Fatalf("cooled T = %v, want ~25", tm.TemperatureC())
+	}
+}
+
+func TestThermalResidueSurvivesWorkload(t *testing.T) {
+	// The second-order channel: right after a workload stops, the rail
+	// still draws more than a cold rail — the victim's thermal residue.
+	r := thermalRail(t)
+	tm, err := NewThermalMass(ThermalConfig{Rail: r, RthKPerW: 2, TauSeconds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := &ConstantSource{Name: "load", Amps: 6}
+	r.MustAttach(load)
+	dt := 10 * time.Millisecond
+	for i := 0; i < 2000; i++ { // 20 s hot
+		r.Step(0, dt)
+		tm.Step(0, dt)
+	}
+	load.Amps = 0
+	r.Step(0, dt)
+	tm.Step(0, dt)
+	r.Step(0, dt) // next tick sees the hot leakage scale
+	hotIdle := r.Current()
+	if hotIdle <= 0.505 {
+		t.Fatalf("hot idle current = %v, want > cold 0.5 A", hotIdle)
+	}
+}
+
+func TestStaticScaleClampsNegative(t *testing.T) {
+	r := thermalRail(t)
+	r.SetStaticScale(-5)
+	if r.StaticScale() != 0 {
+		t.Fatalf("scale = %v, want clamp to 0", r.StaticScale())
+	}
+	r.Step(0, time.Millisecond)
+	if r.Current() != 0 {
+		t.Fatalf("current = %v with zero scale", r.Current())
+	}
+}

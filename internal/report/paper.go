@@ -1,0 +1,190 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/core"
+)
+
+// RenderTableI writes the Table I reproduction: the board survey.
+func RenderTableI(w io.Writer, specs []board.Spec) error {
+	tab := &Table{
+		Title:   "Table I: INA226 sensors on ARM-FPGA SoC boards",
+		Headers: []string{"Board", "Family", "FPGA Voltage (V)", "CPU", "DRAM (GB)", "INA Sensors", "Price ($)"},
+	}
+	for _, s := range specs {
+		tab.AddRow(s.Name, s.Family,
+			fmt.Sprintf("%.3f-%.3f", s.VoltageBand.Min, s.VoltageBand.Max),
+			s.CPUModel, fmt.Sprintf("%d", s.DRAMGB),
+			fmt.Sprintf("%d", s.INASensors), fmt.Sprintf("%d", s.PriceUSD))
+	}
+	return tab.Render(w)
+}
+
+// RenderTableII writes the Table II reproduction: the sensitive ZCU102
+// sensors.
+func RenderTableII(w io.Writer, rows []board.SensitiveSensor) error {
+	tab := &Table{
+		Title:   "Table II: sensitive unprivileged hwmon sensors on the ZCU102",
+		Headers: []string{"Sensor", "Description"},
+	}
+	for _, r := range rows {
+		tab.AddRow(r.Label, r.Monitors)
+	}
+	return tab.Render(w)
+}
+
+// RenderFig2 writes the Fig. 2 reproduction: per-channel fits and the
+// overlaid response curves.
+func RenderFig2(w io.Writer, res *core.CharacterizeResult) error {
+	tab := &Table{
+		Title:   "Fig. 2: channel response to active power-virus instances",
+		Headers: []string{"Channel", "Pearson r", "LSB/level", "Rel. variation"},
+	}
+	rows := []struct {
+		name string
+		fit  core.ChannelFit
+		lsb  bool
+	}{
+		{"FPGA current (hwmon)", res.Current, true},
+		{"FPGA voltage (hwmon)", res.Voltage, true},
+		{"FPGA power (hwmon)", res.Power, true},
+		{"RO counts (crafted circuit)", res.RO, false},
+	}
+	for _, r := range rows {
+		lsb := "-"
+		if r.lsb {
+			lsb = fmt.Sprintf("%.2f", r.fit.LSBPerLevel)
+		}
+		tab.AddRow(r.name, fmt.Sprintf("%+.4f", r.fit.Pearson), lsb,
+			fmt.Sprintf("%.5f", r.fit.RelativeVariation))
+	}
+	if err := tab.Render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "current variation / RO variation = %.0fx (paper: 261x)\n",
+		res.VariationRatio); err != nil {
+		return err
+	}
+	series := []Series{
+		{Name: "current"}, {Name: "voltage"}, {Name: "power"}, {Name: "RO"},
+	}
+	for _, r := range res.Readings {
+		series[0].Values = append(series[0].Values, r.CurrentAmps)
+		series[1].Values = append(series[1].Values, r.BusVolts)
+		series[2].Values = append(series[2].Values, r.PowerWatts)
+		series[3].Values = append(series[3].Values, r.ROCount)
+	}
+	return Plot(w, "Fig. 2 series (x: activation level)", 72, 12, series...)
+}
+
+// RenderFig3 writes the Fig. 3 reproduction: per-model current traces
+// for the given channels.
+func RenderFig3(w io.Writer, captures []*core.Capture, channels []core.Channel) error {
+	for _, c := range captures {
+		series := make([]Series, 0, len(channels))
+		for _, ch := range channels {
+			tr, ok := c.Traces[ch]
+			if !ok {
+				return fmt.Errorf("report: capture %s lacks channel %v", c.Model, ch)
+			}
+			series = append(series, Series{Name: ch.String(), Values: tr.Samples})
+		}
+		title := fmt.Sprintf("Fig. 3: current traces during %s inference (%s)",
+			c.Model, c.Traces[channels[0]].Duration().Round(time.Millisecond))
+		if err := Plot(w, title, 72, 8, series...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderTableIII writes the Table III reproduction: the accuracy grid.
+func RenderTableIII(w io.Writer, res *core.FingerprintResult,
+	channels []core.Channel, durations []time.Duration) error {
+	headers := []string{"Channel"}
+	for _, d := range durations {
+		headers = append(headers, d.String())
+	}
+	tab := &Table{
+		Title: fmt.Sprintf("Table III: fingerprinting accuracy over %d models (chance %.4f)",
+			res.Classes, 1/math.Max(1, float64(res.Classes))),
+		Headers: headers,
+	}
+	for _, ch := range channels {
+		top1 := []string{ch.String() + " top-1"}
+		top5 := []string{ch.String() + " top-5"}
+		for _, d := range durations {
+			if cell, err := res.Cell(ch, d); err == nil {
+				top1 = append(top1, fmt.Sprintf("%.3f", cell.Top1))
+				top5 = append(top5, fmt.Sprintf("%.3f", cell.Top5))
+			} else {
+				top1 = append(top1, "-")
+				top5 = append(top5, "-")
+			}
+		}
+		tab.AddRow(top1...)
+		tab.AddRow(top5...)
+	}
+	return tab.Render(w)
+}
+
+// RenderApplicability writes the cross-board experiment table.
+func RenderApplicability(w io.Writer, rows []core.BoardApplicability) error {
+	tab := &Table{
+		Title:   "Applicability: unprivileged current channel on every Table I board",
+		Headers: []string{"Board", "Family", "Sensors found", "Current Pearson r", "Voltage stayed in band"},
+	}
+	for _, r := range rows {
+		tab.AddRow(r.Board, r.Family, fmt.Sprintf("%d", r.Sensors),
+			fmt.Sprintf("%+.4f", r.CurrentPearson), fmt.Sprintf("%v", r.VoltageInBand))
+	}
+	return tab.Render(w)
+}
+
+// RenderFig4 writes the Fig. 4 reproduction: the per-weight box plots
+// for current and power, plus the group counts.
+func RenderFig4(w io.Writer, res *core.RSAResult) error {
+	boxes := make([]Box, 0, len(res.Keys))
+	for _, k := range res.Keys {
+		boxes = append(boxes, Box{
+			Label: fmt.Sprintf("HW %4d", k.Weight),
+			Min:   k.Current.Min, Q1: k.Current.Q1, Median: k.Current.Median,
+			Q3: k.Current.Q3, Max: k.Current.Max,
+		})
+	}
+	if err := BoxPlot(w, "Fig. 4a: FPGA current (A) vs key Hamming weight", 64, boxes); err != nil {
+		return err
+	}
+	boxes = boxes[:0]
+	for _, k := range res.Keys {
+		boxes = append(boxes, Box{
+			Label: fmt.Sprintf("HW %4d", k.Weight),
+			Min:   k.Power.Min, Q1: k.Power.Q1, Median: k.Power.Median,
+			Q3: k.Power.Q3, Max: k.Power.Max,
+		})
+	}
+	if err := BoxPlot(w, "Fig. 4b: FPGA power (W) vs key Hamming weight", 64, boxes); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "distinguishable groups: current=%d/%d (paper 17/17), power=%d (paper ~5)\n",
+		res.CurrentGroups, len(res.Keys), res.PowerGroups); err != nil {
+		return err
+	}
+	// What the leak is worth: brute-force bits removed per recovered
+	// weight (the paper's "greatly reduce the search space" claim).
+	if len(res.Keys) > 0 {
+		first := res.Keys[0]
+		mid := res.Keys[len(res.Keys)/2]
+		_, err := fmt.Fprintf(w,
+			"search-space reduction: HW %d saves %.0f bits of brute force; even max-entropy HW %d saves %.1f bits\n",
+			first.Weight, first.SearchSpaceReductionBits,
+			mid.Weight, mid.SearchSpaceReductionBits)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestRenderTableI(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderTableI(&sb, board.Catalog()); err != nil {
+		t.Fatalf("RenderTableI: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"ZCU102", "VPK180", "0.825-0.876", "0.775-0.825", "Cortex-A72"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRenderTableII(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderTableII(&sb, board.SensitiveSensors()); err != nil {
+		t.Fatalf("RenderTableII: %v", err)
+	}
+	for _, want := range []string{"ina226_u76", "ina226_u93", "DDR memory"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRenderFig2(t *testing.T) {
+	res := &core.CharacterizeResult{
+		Readings: []core.LevelReading{
+			{ActiveGroups: 0, CurrentAmps: 0.55, BusVolts: 0.85, PowerWatts: 0.47, ROCount: 100},
+			{ActiveGroups: 1, CurrentAmps: 0.59, BusVolts: 0.85, PowerWatts: 0.50, ROCount: 99},
+		},
+		Current:        core.ChannelFit{Pearson: 0.999, LSBPerLevel: 40, RelativeVariation: 1.7},
+		Voltage:        core.ChannelFit{Pearson: -0.958, LSBPerLevel: -0.03, RelativeVariation: 0.006},
+		Power:          core.ChannelFit{Pearson: 0.999, LSBPerLevel: 1.3, RelativeVariation: 1.7},
+		RO:             core.ChannelFit{Pearson: -0.996, RelativeVariation: 0.0065},
+		VariationRatio: 261,
+	}
+	var sb strings.Builder
+	if err := RenderFig2(&sb, res); err != nil {
+		t.Fatalf("RenderFig2: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"261x", "FPGA current", "RO counts", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRenderFig3(t *testing.T) {
+	ch := core.Channel{Label: board.SensorFPGA, Kind: core.Current}
+	capture := &core.Capture{
+		Model: "ResNet-50",
+		Traces: map[core.Channel]*trace.Trace{
+			ch: {Interval: 35 * time.Millisecond, Samples: []float64{1, 2, 1, 2}},
+		},
+	}
+	var sb strings.Builder
+	if err := RenderFig3(&sb, []*core.Capture{capture}, []core.Channel{ch}); err != nil {
+		t.Fatalf("RenderFig3: %v", err)
+	}
+	if !strings.Contains(sb.String(), "ResNet-50") {
+		t.Error("missing model name")
+	}
+	// A channel the capture lacks must error, not panic.
+	missing := core.Channel{Label: "ina226_u93", Kind: core.Current}
+	if err := RenderFig3(&sb, []*core.Capture{capture}, []core.Channel{missing}); err == nil {
+		t.Error("missing channel accepted")
+	}
+}
+
+func TestRenderTableIII(t *testing.T) {
+	ch := core.Channel{Label: board.SensorFPGA, Kind: core.Current}
+	res := &core.FingerprintResult{
+		Classes: 39,
+		Cells: []core.AccuracyCell{
+			{Channel: ch, Duration: time.Second, Top1: 0.941, Top5: 1.0},
+		},
+	}
+	var sb strings.Builder
+	err := RenderTableIII(&sb, res, []core.Channel{ch}, []time.Duration{time.Second, 2 * time.Second})
+	if err != nil {
+		t.Fatalf("RenderTableIII: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "0.941") {
+		t.Error("missing accuracy cell")
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("missing placeholder for absent cell")
+	}
+	if !strings.Contains(out, "0.0256") {
+		t.Error("missing chance baseline")
+	}
+}
+
+func TestRenderFig4(t *testing.T) {
+	res := &core.RSAResult{
+		Keys: []core.KeyObservation{
+			{Weight: 1, Current: stats.FiveNum{Min: 1, Q1: 1, Median: 1.01, Q3: 1.02, Max: 1.03},
+				Power:                    stats.FiveNum{Min: 0.87, Q1: 0.87, Median: 0.87, Q3: 0.88, Max: 0.88},
+				SearchSpaceReductionBits: 1014},
+			{Weight: 1024, Current: stats.FiveNum{Min: 1.2, Q1: 1.21, Median: 1.22, Q3: 1.23, Max: 1.24},
+				Power:                    stats.FiveNum{Min: 1.0, Q1: 1.0, Median: 1.01, Q3: 1.02, Max: 1.02},
+				SearchSpaceReductionBits: 1024},
+		},
+		CurrentGroups:  2,
+		PowerGroups:    1,
+		CurrentPearson: 1,
+	}
+	var sb strings.Builder
+	if err := RenderFig4(&sb, res); err != nil {
+		t.Fatalf("RenderFig4: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"HW    1", "HW 1024", "current=2/2", "power=1", "search-space"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderApplicability(t *testing.T) {
+	rows := []core.BoardApplicability{
+		{Board: "ZCU102", Family: "Zynq UltraScale+", Sensors: 18, CurrentPearson: 1, VoltageInBand: true},
+	}
+	var sb strings.Builder
+	if err := RenderApplicability(&sb, rows); err != nil {
+		t.Fatalf("RenderApplicability: %v", err)
+	}
+	if !strings.Contains(sb.String(), "ZCU102") {
+		t.Error("missing board row")
+	}
+}

@@ -1,0 +1,214 @@
+// Package report renders experiment results as text: aligned tables for
+// the paper's Table I-III reproductions and ASCII plots for the figure
+// reproductions, so every artifact can be regenerated on a terminal
+// without a plotting stack.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	// Title printed above the table (optional).
+	Title string
+	// Headers of the columns.
+	Headers []string
+	// Rows of cells; each row must have len(Headers) cells.
+	Rows [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	if len(t.Headers) == 0 {
+		return errors.New("report: table has no headers")
+	}
+	for i, r := range t.Rows {
+		if len(r) != len(t.Headers) {
+			return fmt.Errorf("report: row %d has %d cells, want %d", i, len(r), len(t.Headers))
+		}
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+		return err
+	}
+	rule := make([]string, len(widths))
+	for i, wd := range widths {
+		rule[i] = strings.Repeat("-", wd)
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one named line of a plot.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Plot renders one or more series as an ASCII chart of the given
+// dimensions. Each series is drawn with its own glyph; values are
+// normalized per series so differently scaled channels can share a
+// canvas (matching how Fig. 2 overlays current, voltage, power and RO).
+func Plot(w io.Writer, title string, width, height int, series ...Series) error {
+	if width < 8 || height < 2 {
+		return errors.New("report: plot too small")
+	}
+	if len(series) == 0 {
+		return errors.New("report: no series")
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@'}
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		if len(s.Values) == 0 {
+			return fmt.Errorf("report: series %q is empty", s.Name)
+		}
+		min, max := s.Values[0], s.Values[0]
+		for _, v := range s.Values {
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		span := max - min
+		for x := 0; x < width; x++ {
+			var v float64
+			if len(s.Values) == 1 {
+				v = s.Values[0]
+			} else {
+				v = s.Values[x*(len(s.Values)-1)/(width-1)]
+			}
+			norm := 0.5
+			if span > 0 {
+				norm = (v - min) / span
+			}
+			y := height - 1 - int(norm*float64(height-1)+0.5)
+			canvas[y][x] = glyphs[si%len(glyphs)]
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+	}
+	for _, row := range canvas {
+		if _, err := fmt.Fprintf(w, "|%s|\n", row); err != nil {
+			return err
+		}
+	}
+	legend := make([]string, len(series))
+	for i, s := range series {
+		legend[i] = fmt.Sprintf("%c=%s", glyphs[i%len(glyphs)], s.Name)
+	}
+	_, err := fmt.Fprintf(w, "legend: %s (each series min-max normalized)\n",
+		strings.Join(legend, "  "))
+	return err
+}
+
+// Box is one box-and-whisker entry for BoxPlot.
+type Box struct {
+	Label                    string
+	Min, Q1, Median, Q3, Max float64
+}
+
+// BoxPlot renders horizontal box-and-whisker rows over a shared scale —
+// the Fig. 4 layout (one box per Hamming-weight class).
+func BoxPlot(w io.Writer, title string, width int, boxes []Box) error {
+	if width < 16 {
+		return errors.New("report: box plot too narrow")
+	}
+	if len(boxes) == 0 {
+		return errors.New("report: no boxes")
+	}
+	lo, hi := boxes[0].Min, boxes[0].Max
+	labelW := 0
+	for _, b := range boxes {
+		if b.Min > b.Q1 || b.Q1 > b.Median || b.Median > b.Q3 || b.Q3 > b.Max {
+			return fmt.Errorf("report: box %q is not ordered", b.Label)
+		}
+		lo = math.Min(lo, b.Min)
+		hi = math.Max(hi, b.Max)
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	col := func(v float64) int {
+		c := int((v - lo) / span * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c > width-1 {
+			c = width - 1
+		}
+		return c
+	}
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+	}
+	for _, b := range boxes {
+		row := []byte(strings.Repeat(" ", width))
+		for c := col(b.Min); c <= col(b.Max); c++ {
+			row[c] = '-'
+		}
+		for c := col(b.Q1); c <= col(b.Q3); c++ {
+			row[c] = '='
+		}
+		row[col(b.Median)] = '|'
+		if _, err := fmt.Fprintf(w, "%s %s\n", pad(b.Label, labelW), row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s scale: [%.4g, %.4g]\n", strings.Repeat(" ", labelW), lo, hi)
+	return err
+}

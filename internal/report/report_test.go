@@ -1,0 +1,125 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "Table X",
+		Headers: []string{"Sensor", "Top-1"},
+	}
+	tab.AddRow("Current (FPGA)", "0.997")
+	tab.AddRow("Voltage (FPGA)", "0.116")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table X", "Sensor", "0.997", "0.116", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + rule + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All table lines equally wide (alignment).
+	w := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != w {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := (&Table{}).Render(&sb); err == nil {
+		t.Fatal("headerless table accepted")
+	}
+	tab := &Table{Headers: []string{"a", "b"}}
+	tab.AddRow("only-one")
+	if err := tab.Render(&sb); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+}
+
+func TestPlot(t *testing.T) {
+	var sb strings.Builder
+	err := Plot(&sb, "fig", 20, 5,
+		Series{Name: "up", Values: []float64{0, 1, 2, 3}},
+		Series{Name: "down", Values: []float64{3, 2, 1, 0}},
+	)
+	if err != nil {
+		t.Fatalf("Plot: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "legend") {
+		t.Fatalf("missing title/legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("missing series glyphs:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 { // title + 5 rows + legend
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Rising series: glyph in bottom-left and top-right corners region.
+	if rows := lines[1:6]; rows[4][1] != '*' && rows[4][2] != '*' {
+		t.Errorf("rising series not at bottom-left:\n%s", out)
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := Plot(&sb, "", 4, 1); err == nil {
+		t.Fatal("tiny canvas accepted")
+	}
+	if err := Plot(&sb, "", 20, 5); err == nil {
+		t.Fatal("no series accepted")
+	}
+	if err := Plot(&sb, "", 20, 5, Series{Name: "e"}); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	var sb strings.Builder
+	if err := Plot(&sb, "", 12, 3, Series{Name: "c", Values: []float64{5, 5, 5}}); err != nil {
+		t.Fatalf("constant series: %v", err)
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	var sb strings.Builder
+	err := BoxPlot(&sb, "Fig. 4", 40, []Box{
+		{Label: "HW 1", Min: 1.0, Q1: 1.01, Median: 1.02, Q3: 1.03, Max: 1.04},
+		{Label: "HW 1024", Min: 1.5, Q1: 1.51, Median: 1.52, Q3: 1.53, Max: 1.54},
+	})
+	if err != nil {
+		t.Fatalf("BoxPlot: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig. 4", "HW 1", "HW 1024", "=", "|", "scale"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBoxPlotErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := BoxPlot(&sb, "", 8, []Box{{Label: "a"}}); err == nil {
+		t.Fatal("narrow canvas accepted")
+	}
+	if err := BoxPlot(&sb, "", 40, nil); err == nil {
+		t.Fatal("no boxes accepted")
+	}
+	if err := BoxPlot(&sb, "", 40, []Box{{Label: "bad", Min: 2, Q1: 1, Median: 1, Q3: 1, Max: 1}}); err == nil {
+		t.Fatal("unordered box accepted")
+	}
+}

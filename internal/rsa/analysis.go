@@ -1,0 +1,110 @@
+package rsa
+
+import (
+	"errors"
+	"math"
+	"math/big"
+	"math/rand"
+)
+
+// This file quantifies what the Fig. 4 leak is worth to an attacker and
+// provides real RSA parameter generation for end-to-end demonstrations.
+//
+// Knowing a 1024-bit exponent's Hamming weight shrinks the brute-force
+// search space from 2^1024 to C(1024, hw) candidates; the paper cites
+// this reduction (and the follow-on statistical attacks of Sarkar &
+// Maitra on low-weight exponents) as the attack's cryptographic impact.
+
+// SearchSpaceBits returns log2 of the number of bits-wide exponents
+// with the given Hamming weight: log2 C(bits, hw).
+func SearchSpaceBits(bits, hw int) (float64, error) {
+	if bits <= 0 || hw < 0 || hw > bits {
+		return 0, errors.New("rsa: invalid (bits, hw)")
+	}
+	lg, _ := math.Lgamma(float64(bits + 1))
+	lh, _ := math.Lgamma(float64(hw + 1))
+	lr, _ := math.Lgamma(float64(bits - hw + 1))
+	return (lg - lh - lr) / math.Ln2, nil
+}
+
+// SearchSpaceReduction returns how many bits of brute-force work the
+// Hamming-weight leak removes for a bits-wide exponent: bits minus
+// log2 C(bits, hw).
+func SearchSpaceReduction(bits, hw int) (float64, error) {
+	space, err := SearchSpaceBits(bits, hw)
+	if err != nil {
+		return 0, err
+	}
+	return float64(bits) - space, nil
+}
+
+// KeyPair is a textbook RSA key with real prime factors.
+type KeyPair struct {
+	// N is the public modulus p·q.
+	N *big.Int
+	// E is the public exponent.
+	E *big.Int
+	// D is the private exponent, E⁻¹ mod λ(N).
+	D *big.Int
+	// P, Q are the prime factors.
+	P, Q *big.Int
+}
+
+// GenerateKeyPair produces a real (textbook) RSA key pair with a
+// modulus of the given bit width, using math/big primality generation
+// seeded from rng. Intended for end-to-end demonstrations where the
+// victim circuit should perform genuine RSA; the power model does not
+// require it.
+func GenerateKeyPair(bits int, rng *rand.Rand) (*KeyPair, error) {
+	if bits < 32 || bits%2 != 0 {
+		return nil, errors.New("rsa: modulus width must be even and >= 32")
+	}
+	if rng == nil {
+		return nil, errors.New("rsa: nil random stream")
+	}
+	e := big.NewInt(65537)
+	one := big.NewInt(1)
+	for attempt := 0; attempt < 200; attempt++ {
+		p, err := randomPrime(bits/2, rng)
+		if err != nil {
+			return nil, err
+		}
+		q, err := randomPrime(bits/2, rng)
+		if err != nil {
+			return nil, err
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		phi := new(big.Int).Mul(pm1, qm1)
+		d := new(big.Int)
+		if d.ModInverse(e, phi) == nil {
+			continue // gcd(e, phi) != 1
+		}
+		return &KeyPair{N: n, E: new(big.Int).Set(e), D: d, P: p, Q: q}, nil
+	}
+	return nil, errors.New("rsa: key generation did not converge")
+}
+
+// randomPrime draws a probable prime of exactly the given width.
+func randomPrime(bits int, rng *rand.Rand) (*big.Int, error) {
+	if bits < 16 {
+		return nil, errors.New("rsa: prime too narrow")
+	}
+	limit := new(big.Int).Lsh(big.NewInt(1), uint(bits))
+	for i := 0; i < 100000; i++ {
+		c := new(big.Int).Rand(rng, limit)
+		c.SetBit(c, bits-1, 1) // full width
+		c.SetBit(c, 0, 1)      // odd
+		if c.ProbablyPrime(32) {
+			return c, nil
+		}
+	}
+	return nil, errors.New("rsa: prime search exhausted")
+}

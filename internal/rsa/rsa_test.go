@@ -1,0 +1,301 @@
+package rsa
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func rng() *rand.Rand { return rand.New(rand.NewSource(7)) }
+
+func TestExponentWithHammingWeight(t *testing.T) {
+	r := rng()
+	for _, hw := range []int{1, 64, 512, 1024} {
+		e, err := ExponentWithHammingWeight(1024, hw, r)
+		if err != nil {
+			t.Fatalf("hw %d: %v", hw, err)
+		}
+		if got := HammingWeight(e); got != hw {
+			t.Fatalf("hw %d: got weight %d", hw, got)
+		}
+		if e.BitLen() > 1024 {
+			t.Fatalf("hw %d: exponent too wide (%d bits)", hw, e.BitLen())
+		}
+	}
+}
+
+func TestExponentErrors(t *testing.T) {
+	r := rng()
+	if _, err := ExponentWithHammingWeight(0, 1, r); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := ExponentWithHammingWeight(8, 0, r); err == nil {
+		t.Fatal("weight 0 accepted (circuit does not support exponent 0)")
+	}
+	if _, err := ExponentWithHammingWeight(8, 9, r); err == nil {
+		t.Fatal("overweight accepted")
+	}
+	if _, err := ExponentWithHammingWeight(8, 1, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestHammingWeight(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{{0, 0}, {1, 1}, {3, 2}, {255, 8}, {256, 1}}
+	for _, c := range cases {
+		if got := HammingWeight(big.NewInt(c.v)); got != c.want {
+			t.Errorf("HW(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestPaperKeySet(t *testing.T) {
+	keys, err := PaperKeySet(rng())
+	if err != nil {
+		t.Fatalf("PaperKeySet: %v", err)
+	}
+	if len(keys) != 17 {
+		t.Fatalf("keys = %d, want 17", len(keys))
+	}
+	want := PaperHammingWeights()
+	for i, k := range keys {
+		if HammingWeight(k) != want[i] {
+			t.Errorf("key %d weight = %d, want %d", i, HammingWeight(k), want[i])
+		}
+	}
+	if want[0] != 1 || want[1] != 64 || want[16] != 1024 {
+		t.Fatalf("weights = %v", want)
+	}
+}
+
+func TestModulus(t *testing.T) {
+	n, err := Modulus(1024, rng())
+	if err != nil {
+		t.Fatalf("Modulus: %v", err)
+	}
+	if n.BitLen() != 1024 {
+		t.Fatalf("BitLen = %d", n.BitLen())
+	}
+	if n.Bit(0) != 1 {
+		t.Fatal("modulus is even")
+	}
+	if _, err := Modulus(1, rng()); err == nil {
+		t.Fatal("narrow modulus accepted")
+	}
+	if _, err := Modulus(64, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func newCircuit(t *testing.T, cfg CircuitConfig) *Circuit {
+	t.Helper()
+	c, err := NewCircuit(cfg)
+	if err != nil {
+		t.Fatalf("NewCircuit: %v", err)
+	}
+	return c
+}
+
+func smallCfg(t *testing.T, exp int64, verify bool) CircuitConfig {
+	t.Helper()
+	return CircuitConfig{
+		Exponent:           big.NewInt(exp),
+		Modulus:            big.NewInt(1000003), // odd
+		Bits:               16,
+		ClockHz:            1e6,
+		CyclesPerIteration: 10,
+		Rand:               rng(),
+		Verify:             verify,
+	}
+}
+
+func TestNewCircuitValidation(t *testing.T) {
+	good := smallCfg(t, 5, false)
+	cases := []func(CircuitConfig) CircuitConfig{
+		func(c CircuitConfig) CircuitConfig { c.Exponent = nil; return c },
+		func(c CircuitConfig) CircuitConfig { c.Exponent = big.NewInt(0); return c },
+		func(c CircuitConfig) CircuitConfig { c.Modulus = big.NewInt(10); return c }, // even
+		func(c CircuitConfig) CircuitConfig { c.Modulus = nil; return c },
+		func(c CircuitConfig) CircuitConfig { c.Rand = nil; return c },
+		func(c CircuitConfig) CircuitConfig { c.Bits = 2; return c }, // narrower than exponent
+		func(c CircuitConfig) CircuitConfig { c.ClockHz = -1; return c },
+		func(c CircuitConfig) CircuitConfig { c.CyclesPerIteration = -1; return c },
+		func(c CircuitConfig) CircuitConfig { c.SquareElements = -1; return c },
+	}
+	for i, mutate := range cases {
+		if _, err := NewCircuit(mutate(good)); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := newCircuit(t, CircuitConfig{
+		Exponent: big.NewInt(5), Modulus: big.NewInt(101), Rand: rng(),
+	})
+	if c.Weight() != 2 {
+		t.Fatalf("Weight = %d", c.Weight())
+	}
+	want := DefaultControlElements + DefaultSquareElements +
+		DefaultMultiplyElements*2.0/1024.0
+	if math.Abs(c.ExpectedMeanElements()-want) > 1e-9 {
+		t.Fatalf("ExpectedMeanElements = %v, want %v", c.ExpectedMeanElements(), want)
+	}
+}
+
+// run advances the circuit by d at the given tick.
+func run(c *Circuit, d, dt time.Duration) {
+	for now := time.Duration(0); now < d; now += dt {
+		c.Step(now, dt)
+	}
+}
+
+func TestDatapathMatchesBigExp(t *testing.T) {
+	// exponent 11 = 0b1011 over a 16-bit machine; Verify mode on.
+	cfg := smallCfg(t, 11, true)
+	c := newCircuit(t, cfg)
+	// One exponentiation = 16 iterations * 10 cycles at 1 MHz = 160 us.
+	run(c, 200*time.Microsecond, 10*time.Microsecond)
+	if c.Exponentiations() == 0 {
+		t.Fatal("no exponentiation completed")
+	}
+	res := c.LastResult()
+	if res == nil {
+		t.Fatal("no result recorded")
+	}
+	// Recompute: the plaintext consumed was the first Rand draw; re-derive
+	// by replaying the machine with the same seed.
+	c2 := newCircuit(t, smallCfg(t, 11, true))
+	want := new(big.Int).Exp(c2.LastPlaintext(), big.NewInt(11), cfg.Modulus)
+	if res.Cmp(want) != 0 {
+		t.Fatalf("datapath = %v, big.Exp = %v", res, want)
+	}
+}
+
+func TestActivityReflectsBitPattern(t *testing.T) {
+	// Exponent with alternating bits: activity during a 1-bit iteration
+	// exceeds activity during a 0-bit iteration.
+	cfg := smallCfg(t, 0b0101, false)
+	cfg.SquareElements = 100
+	cfg.MultiplyElements = 50
+	cfg.ControlElements = 10
+	c := newCircuit(t, cfg)
+	// Tick = exactly one iteration (10 cycles at 1 MHz = 10 us).
+	c.Step(0, 10*time.Microsecond) // iteration 0: bit 1
+	high := c.ActiveElements()
+	c.Step(0, 10*time.Microsecond) // iteration 1: bit 0
+	low := c.ActiveElements()
+	if high != 160 || low != 110 {
+		t.Fatalf("activity = %v/%v, want 160/110", high, low)
+	}
+}
+
+func TestMeanActivityTracksHammingWeight(t *testing.T) {
+	// Over whole exponentiations the mean activity must equal the
+	// analytic value control+square+multiply*HW/bits.
+	for _, exp := range []int64{1, 0xFF, 0xFFFF} {
+		cfg := smallCfg(t, exp, false)
+		c := newCircuit(t, cfg)
+		var sum float64
+		n := 0
+		// 16 iterations per exponentiation; run exactly 32 iterations.
+		for i := 0; i < 32; i++ {
+			c.Step(0, 10*time.Microsecond)
+			sum += c.ActiveElements()
+			n++
+		}
+		got := sum / float64(n)
+		want := c.ExpectedMeanElements()
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("exp %d: mean activity %v, want %v", exp, got, want)
+		}
+	}
+}
+
+func TestIterationCountIndependentOfKey(t *testing.T) {
+	// Fixed-width machine: HW=1 and HW=16 keys take the same wall time
+	// per exponentiation (the leak is amplitude, not duration).
+	c1 := newCircuit(t, smallCfg(t, 1, false))
+	c2 := newCircuit(t, smallCfg(t, 0xFFFF, false))
+	run(c1, time.Millisecond, 10*time.Microsecond)
+	run(c2, time.Millisecond, 10*time.Microsecond)
+	if c1.Exponentiations() != c2.Exponentiations() {
+		t.Fatalf("exponentiation counts differ: %d vs %d",
+			c1.Exponentiations(), c2.Exponentiations())
+	}
+}
+
+func TestStepSpanningManyIterations(t *testing.T) {
+	// One big tick covering 3.5 iterations averages across them.
+	cfg := smallCfg(t, 0b1111, false) // all ones in the low bits
+	cfg.SquareElements = 100
+	cfg.MultiplyElements = 50
+	cfg.ControlElements = 10
+	c := newCircuit(t, cfg)
+	c.Step(0, 35*time.Microsecond) // 35 cycles = 3.5 iterations, all 1-bits
+	if c.ActiveElements() != 160 {
+		t.Fatalf("activity = %v, want 160", c.ActiveElements())
+	}
+}
+
+func TestUtilizationFitsDevice(t *testing.T) {
+	c := newCircuit(t, smallCfg(t, 5, false))
+	u := c.Utilization()
+	if u.LUTs == 0 || u.DSPs == 0 {
+		t.Fatalf("Utilization = %+v", u)
+	}
+	if c.CircuitName() != "rsa1024" {
+		t.Fatalf("CircuitName = %q", c.CircuitName())
+	}
+}
+
+// Property: generated exponents always have the requested weight and fit
+// the width.
+func TestExponentProperty(t *testing.T) {
+	r := rng()
+	f := func(w uint16) bool {
+		hw := int(w)%256 + 1
+		e, err := ExponentWithHammingWeight(256, hw, r)
+		if err != nil {
+			return false
+		}
+		return HammingWeight(e) == hw && e.BitLen() <= 256
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: small-machine datapath equals big.Exp for random keys.
+func TestDatapathProperty(t *testing.T) {
+	f := func(seed int64, e uint8) bool {
+		exp := int64(e)%255 + 1
+		r := rand.New(rand.NewSource(seed))
+		cfg := CircuitConfig{
+			Exponent: big.NewInt(exp), Modulus: big.NewInt(99991),
+			Bits: 8, ClockHz: 1e6, CyclesPerIteration: 2,
+			Rand: r, Verify: true,
+		}
+		c, err := NewCircuit(cfg)
+		if err != nil {
+			return false
+		}
+		first := new(big.Int).Set(c.LastPlaintext())
+		// 8 iterations * 2 cycles = 16 us at 1 MHz.
+		run(c, 20*time.Microsecond, 2*time.Microsecond)
+		if c.LastResult() == nil {
+			return false
+		}
+		want := new(big.Int).Exp(first, big.NewInt(exp), big.NewInt(99991))
+		return c.LastResult().Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package sysfs
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Export writes a snapshot of the tree into dir on the real filesystem,
+// reading every attribute as the given credential; attributes the
+// credential cannot read are skipped. File modes mirror the attribute
+// modes. Useful for inspecting what a simulated board's hwmon layout
+// looks like with ordinary shell tools.
+func (f *FS) Export(dir string, cred Cred) error {
+	if dir == "" {
+		return fmt.Errorf("sysfs: export needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return f.exportNode(f.root, dir, cred)
+}
+
+func (f *FS) exportNode(n *node, dir string, cred Cred) error {
+	for name, child := range n.children {
+		target := filepath.Join(dir, name)
+		if child.isDir() {
+			if err := os.MkdirAll(target, 0o755); err != nil {
+				return err
+			}
+			if err := f.exportNode(child, target, cred); err != nil {
+				return err
+			}
+			continue
+		}
+		if !readable(cred, child.attr.Mode) {
+			continue
+		}
+		content, err := child.attr.Show()
+		if err != nil {
+			return fmt.Errorf("sysfs: export %s: %w", target, err)
+		}
+		// Snapshot files must stay writable long enough to be written;
+		// apply the attribute mode afterwards.
+		if err := os.WriteFile(target, []byte(content), 0o644); err != nil {
+			return err
+		}
+		if err := os.Chmod(target, fs.FileMode(child.attr.Mode.Perm())); err != nil {
+			return err
+		}
+	}
+	return nil
+}

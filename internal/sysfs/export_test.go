@@ -1,0 +1,58 @@
+package sysfs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestExport(t *testing.T) {
+	f, _ := buildTree(t)
+	dir := t.TempDir()
+	if err := f.Export(dir, Nobody); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "class/hwmon/hwmon0/curr1_input"))
+	if err != nil {
+		t.Fatalf("read exported file: %v", err)
+	}
+	if string(got) != "1234\n" {
+		t.Fatalf("content = %q", got)
+	}
+	info, err := os.Stat(filepath.Join(dir, "class/hwmon/hwmon0/curr1_input"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o444 {
+		t.Fatalf("mode = %v, want 0444", info.Mode().Perm())
+	}
+}
+
+func TestExportSkipsUnreadable(t *testing.T) {
+	f, _ := buildTree(t)
+	if err := f.SetMode("class/hwmon/hwmon0/curr1_input", ModeRootOnly); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := f.Export(dir, Nobody); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "class/hwmon/hwmon0/curr1_input")); !os.IsNotExist(err) {
+		t.Fatal("restricted attribute exported for an unprivileged credential")
+	}
+	// Root sees it.
+	rootDir := t.TempDir()
+	if err := f.Export(rootDir, Root); err != nil {
+		t.Fatalf("Export as root: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(rootDir, "class/hwmon/hwmon0/curr1_input")); err != nil {
+		t.Fatalf("root export missing file: %v", err)
+	}
+}
+
+func TestExportValidation(t *testing.T) {
+	f, _ := buildTree(t)
+	if err := f.Export("", Nobody); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+}

@@ -1,0 +1,367 @@
+// Package sysfs implements an in-memory model of the Linux sysfs
+// attribute tree, with the permission semantics the AmpereBleed threat
+// model depends on: attribute files are world-readable (an unprivileged
+// process can poll sensor readings) while writes — such as changing an
+// INA226 update interval — require root.
+//
+// Attributes are backed by callbacks rather than stored bytes, so every
+// read observes the live state of the simulated hardware, exactly like a
+// real sysfs show() method. The tree also exposes a standard io/fs view
+// (As) so discovery code can use fs.Glob/fs.WalkDir unchanged.
+package sysfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Cred identifies the caller for permission checks.
+type Cred struct {
+	// UID is the caller's user id; 0 is root.
+	UID int
+}
+
+// Root is the superuser credential.
+var Root = Cred{UID: 0}
+
+// Nobody is an arbitrary unprivileged credential, the attacker's
+// vantage point.
+var Nobody = Cred{UID: 1000}
+
+// IsRoot reports whether the credential is the superuser.
+func (c Cred) IsRoot() bool { return c.UID == 0 }
+
+// Attr is one sysfs attribute file.
+type Attr struct {
+	// Mode carries the permission bits; only the 0444 read bits and 0200
+	// owner-write bit are honoured (sysfs files are root-owned).
+	Mode fs.FileMode
+	// Show produces the file contents. Required.
+	Show func() (string, error)
+	// Store consumes a write. Required iff the mode has a write bit.
+	Store func(string) error
+}
+
+// Common attribute modes.
+const (
+	// ModeRO is a world-readable attribute (0444), like curr1_input.
+	ModeRO fs.FileMode = 0o444
+	// ModeRW is world-readable but root-writable (0644), like
+	// update_interval.
+	ModeRW fs.FileMode = 0o644
+	// ModeRootOnly is readable by root only (0400); the mitigation
+	// experiment flips sensitive attributes to this mode.
+	ModeRootOnly fs.FileMode = 0o400
+)
+
+type node struct {
+	name     string
+	attr     *Attr            // nil for directories
+	children map[string]*node // nil for files
+}
+
+func (n *node) isDir() bool { return n.attr == nil }
+
+// FS is an in-memory sysfs tree.
+type FS struct {
+	root *node
+}
+
+// New returns an empty tree.
+func New() *FS {
+	return &FS{root: &node{name: ".", children: make(map[string]*node)}}
+}
+
+func splitPath(p string) ([]string, error) {
+	clean := path.Clean(strings.TrimPrefix(p, "/"))
+	if clean == "." || clean == "" {
+		return nil, nil
+	}
+	if strings.HasPrefix(clean, "..") {
+		return nil, fmt.Errorf("sysfs: path escapes root: %q", p)
+	}
+	return strings.Split(clean, "/"), nil
+}
+
+func (f *FS) resolve(p string) (*node, error) {
+	parts, err := splitPath(p)
+	if err != nil {
+		return nil, err
+	}
+	n := f.root
+	for _, part := range parts {
+		if !n.isDir() {
+			return nil, fmt.Errorf("sysfs: %s: %w", p, fs.ErrNotExist)
+		}
+		child, ok := n.children[part]
+		if !ok {
+			return nil, fmt.Errorf("sysfs: %s: %w", p, fs.ErrNotExist)
+		}
+		n = child
+	}
+	return n, nil
+}
+
+// MkdirAll creates a directory path, like os.MkdirAll.
+func (f *FS) MkdirAll(p string) error {
+	parts, err := splitPath(p)
+	if err != nil {
+		return err
+	}
+	n := f.root
+	for _, part := range parts {
+		child, ok := n.children[part]
+		if !ok {
+			child = &node{name: part, children: make(map[string]*node)}
+			n.children[part] = child
+		}
+		if !child.isDir() {
+			return fmt.Errorf("sysfs: %s: not a directory", p)
+		}
+		n = child
+	}
+	return nil
+}
+
+// AddAttr registers an attribute file at p, creating parent directories.
+func (f *FS) AddAttr(p string, a Attr) error {
+	if a.Show == nil {
+		return fmt.Errorf("sysfs: %s: attribute needs a Show callback", p)
+	}
+	if a.Mode&0o222 != 0 && a.Store == nil {
+		return fmt.Errorf("sysfs: %s: writable mode without Store callback", p)
+	}
+	dir, name := path.Split(strings.TrimPrefix(p, "/"))
+	if name == "" {
+		return fmt.Errorf("sysfs: %s: empty file name", p)
+	}
+	if err := f.MkdirAll(dir); err != nil {
+		return err
+	}
+	parent, err := f.resolve(dir)
+	if err != nil {
+		return err
+	}
+	if _, exists := parent.children[name]; exists {
+		return fmt.Errorf("sysfs: %s: %w", p, fs.ErrExist)
+	}
+	parent.children[name] = &node{name: name, attr: &a}
+	return nil
+}
+
+// SetMode changes the permission bits of an existing attribute; this is
+// the mitigation hook (Sec. V: restrict sensor access to root).
+func (f *FS) SetMode(p string, mode fs.FileMode) error {
+	n, err := f.resolve(p)
+	if err != nil {
+		return err
+	}
+	if n.isDir() {
+		return fmt.Errorf("sysfs: %s: is a directory", p)
+	}
+	if mode&0o222 != 0 && n.attr.Store == nil {
+		return fmt.Errorf("sysfs: %s: cannot make writable without Store", p)
+	}
+	n.attr.Mode = mode
+	return nil
+}
+
+// ReadFile reads an attribute as the given credential.
+func (f *FS) ReadFile(c Cred, p string) (string, error) {
+	n, err := f.resolve(p)
+	if err != nil {
+		return "", err
+	}
+	if n.isDir() {
+		return "", fmt.Errorf("sysfs: %s: is a directory", p)
+	}
+	if !readable(c, n.attr.Mode) {
+		return "", fmt.Errorf("sysfs: read %s: %w", p, fs.ErrPermission)
+	}
+	return n.attr.Show()
+}
+
+// WriteFile writes an attribute as the given credential.
+func (f *FS) WriteFile(c Cred, p, value string) error {
+	n, err := f.resolve(p)
+	if err != nil {
+		return err
+	}
+	if n.isDir() {
+		return fmt.Errorf("sysfs: %s: is a directory", p)
+	}
+	if !writable(c, n.attr.Mode) {
+		return fmt.Errorf("sysfs: write %s: %w", p, fs.ErrPermission)
+	}
+	if n.attr.Store == nil {
+		return fmt.Errorf("sysfs: write %s: %w", p, errors.ErrUnsupported)
+	}
+	return n.attr.Store(value)
+}
+
+// ReadDir lists a directory, sorted by name.
+func (f *FS) ReadDir(p string) ([]string, error) {
+	n, err := f.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	if !n.isDir() {
+		return nil, fmt.Errorf("sysfs: %s: not a directory", p)
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Exists reports whether a path resolves.
+func (f *FS) Exists(p string) bool {
+	_, err := f.resolve(p)
+	return err == nil
+}
+
+// sysfs files are owned by root; "group" bits are treated like other.
+func readable(c Cred, m fs.FileMode) bool {
+	if c.IsRoot() {
+		return m&0o444 != 0
+	}
+	return m&0o004 != 0
+}
+
+func writable(c Cred, m fs.FileMode) bool {
+	if c.IsRoot() {
+		return m&0o222 != 0
+	}
+	return m&0o002 != 0
+}
+
+// As returns a read-only io/fs view of the tree with the given
+// credential; reads through the view hit the same permission checks as
+// ReadFile. It supports fs.ReadDirFS and fs.ReadFileFS, so fs.Glob and
+// fs.WalkDir work for sensor discovery.
+func (f *FS) As(c Cred) fs.FS { return &view{fsys: f, cred: c} }
+
+type view struct {
+	fsys *FS
+	cred Cred
+}
+
+func (v *view) Open(name string) (fs.File, error) {
+	if !fs.ValidPath(name) {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrInvalid}
+	}
+	n, err := v.fsys.resolve(name)
+	if err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	if n.isDir() {
+		entries, _ := v.fsys.ReadDir(name)
+		return &dirFile{node: n, entries: entries, fsys: v.fsys, path: name}, nil
+	}
+	if !readable(v.cred, n.attr.Mode) {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrPermission}
+	}
+	content, err := n.attr.Show()
+	if err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+	}
+	return &attrFile{node: n, Reader: bytes.NewReader([]byte(content))}, nil
+}
+
+func (v *view) ReadFile(name string) ([]byte, error) {
+	if !fs.ValidPath(name) {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: fs.ErrInvalid}
+	}
+	s, err := v.fsys.ReadFile(v.cred, name)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(s), nil
+}
+
+func (v *view) ReadDir(name string) ([]fs.DirEntry, error) {
+	if !fs.ValidPath(name) {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrInvalid}
+	}
+	names, err := v.fsys.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	n, _ := v.fsys.resolve(name)
+	out := make([]fs.DirEntry, 0, len(names))
+	for _, childName := range names {
+		out = append(out, fs.FileInfoToDirEntry(infoFor(n.children[childName])))
+	}
+	return out, nil
+}
+
+type nodeInfo struct {
+	name string
+	size int64
+	mode fs.FileMode
+}
+
+func (i nodeInfo) Name() string       { return i.name }
+func (i nodeInfo) Size() int64        { return i.size }
+func (i nodeInfo) Mode() fs.FileMode  { return i.mode }
+func (i nodeInfo) ModTime() time.Time { return time.Time{} }
+func (i nodeInfo) IsDir() bool        { return i.mode.IsDir() }
+func (i nodeInfo) Sys() any           { return nil }
+
+func infoFor(n *node) fs.FileInfo {
+	if n.isDir() {
+		return nodeInfo{name: n.name, mode: fs.ModeDir | 0o555}
+	}
+	return nodeInfo{name: n.name, mode: n.attr.Mode}
+}
+
+type attrFile struct {
+	node *node
+	*bytes.Reader
+}
+
+// Stat reports size 0 like real sysfs attributes, whose size is unknown
+// until read; it also keeps DirEntry.Info and File.Stat consistent.
+func (f *attrFile) Stat() (fs.FileInfo, error) {
+	return infoFor(f.node), nil
+}
+func (f *attrFile) Close() error { return nil }
+
+type dirFile struct {
+	node    *node
+	entries []string
+	offset  int
+	fsys    *FS
+	path    string
+}
+
+func (d *dirFile) Stat() (fs.FileInfo, error) { return infoFor(d.node), nil }
+func (d *dirFile) Read([]byte) (int, error) {
+	return 0, &fs.PathError{Op: "read", Path: d.path, Err: errors.New("is a directory")}
+}
+func (d *dirFile) Close() error { return nil }
+
+func (d *dirFile) ReadDir(n int) ([]fs.DirEntry, error) {
+	rest := d.entries[d.offset:]
+	if n > 0 && len(rest) > n {
+		rest = rest[:n]
+	}
+	out := make([]fs.DirEntry, 0, len(rest))
+	for _, name := range rest {
+		out = append(out, fs.FileInfoToDirEntry(infoFor(d.node.children[name])))
+	}
+	d.offset += len(rest)
+	if n > 0 && len(out) == 0 {
+		return nil, io.EOF
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := &Trace{Interval: 35 * time.Millisecond, Samples: []float64{0.55, 0.59, 3.74}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var out Trace
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if out.Interval != in.Interval || len(out.Samples) != 3 || out.Samples[2] != 3.74 {
+		t.Fatalf("round trip = %+v", out)
+	}
+}
+
+func TestJSONRejectsBadInterval(t *testing.T) {
+	var out Trace
+	if err := json.Unmarshal([]byte(`{"interval_ns":0,"samples":[1]}`), &out); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if err := json.Unmarshal([]byte(`{bad json`), &out); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := &Trace{Interval: time.Millisecond, Samples: []float64{1.5, 2.25, 3}}
+	var sb strings.Builder
+	if err := in.WriteCSV(&sb); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !strings.HasPrefix(sb.String(), "time_s,value\n") {
+		t.Fatalf("missing header:\n%s", sb.String())
+	}
+	out, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if out.Interval != time.Millisecond {
+		t.Fatalf("interval = %v", out.Interval)
+	}
+	for i := range in.Samples {
+		if out.Samples[i] != in.Samples[i] {
+			t.Fatalf("samples = %v", out.Samples)
+		}
+	}
+}
+
+func TestWriteCSVValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := (&Trace{}).WriteCSV(&sb); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"time_s,value\n", // header only
+		"bogus,header\n1,2\n",
+		"time_s,value\nnotanumber,1\n",
+		"time_s,value\n0.0,notanumber\n",
+		"time_s,value\n0.0,1\n0.0,2\n", // non-increasing time
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

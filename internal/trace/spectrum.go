@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"errors"
+	"math"
+)
+
+// Spectrum returns the magnitudes of the first bins DFT coefficients of
+// the trace (excluding DC), computed with Goertzel's algorithm. The
+// inference loop of a DPU victim is periodic at the query rate, so the
+// low-frequency spectrum is a compact fingerprint of a model's period
+// structure — an alternative feature set to raw resampling that is
+// invariant to where in the loop the capture started.
+func (t *Trace) Spectrum(bins int) ([]float64, error) {
+	if bins <= 0 {
+		return nil, errors.New("trace: non-positive spectrum bins")
+	}
+	n := len(t.Samples)
+	if n < 2 {
+		return nil, errors.New("trace: need at least two samples for a spectrum")
+	}
+	// Remove the mean so amplitude offsets (static current) do not mask
+	// the periodic structure.
+	mean := 0.0
+	for _, s := range t.Samples {
+		mean += s
+	}
+	mean /= float64(n)
+
+	out := make([]float64, bins)
+	for k := 1; k <= bins; k++ {
+		// Goertzel recurrence for coefficient k (of an n-point DFT).
+		w := 2 * math.Pi * float64(k) / float64(n)
+		coeff := 2 * math.Cos(w)
+		var s0, s1, s2 float64
+		for _, x := range t.Samples {
+			s0 = (x - mean) + coeff*s1 - s2
+			s2 = s1
+			s1 = s0
+		}
+		re := s1 - s2*math.Cos(w)
+		im := s2 * math.Sin(w)
+		out[k-1] = math.Sqrt(re*re+im*im) * 2 / float64(n)
+	}
+	return out, nil
+}
+
+// DominantPeriod estimates the victim's loop period from the strongest
+// of the first maxBins spectral coefficients. It returns zero when the
+// trace has no periodic structure above the noise floor (peak below
+// floorRatio × mean magnitude).
+func (t *Trace) DominantPeriod(maxBins int, floorRatio float64) (periodSamples float64, ok bool, err error) {
+	mags, err := t.Spectrum(maxBins)
+	if err != nil {
+		return 0, false, err
+	}
+	best, bestMag, sum := 0, 0.0, 0.0
+	for i, m := range mags {
+		sum += m
+		if m > bestMag {
+			best, bestMag = i+1, m
+		}
+	}
+	mean := sum / float64(len(mags))
+	if mean == 0 || bestMag < floorRatio*mean {
+		return 0, false, nil
+	}
+	return float64(len(t.Samples)) / float64(best), true, nil
+}

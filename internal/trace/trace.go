@@ -1,0 +1,148 @@
+// Package trace implements side-channel trace acquisition: an in-
+// simulation recorder that polls a measurement source at a fixed rate
+// (the attacker's sampling loop pinned to CPU core 3 in the paper), and
+// a trace container with the windowing and resampling operations the
+// fingerprinting pipeline needs.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sysfs"
+)
+
+// Trace is a uniformly sampled measurement series.
+type Trace struct {
+	// Interval between samples.
+	Interval time.Duration
+	// Samples in acquisition order, in the source's physical unit.
+	Samples []float64
+}
+
+// Duration returns the time span covered by the trace.
+func (t *Trace) Duration() time.Duration {
+	return time.Duration(len(t.Samples)) * t.Interval
+}
+
+// Prefix returns a view of the first d worth of samples (the duration
+// sweep of Table III uses 1 s..5 s prefixes of the same capture). The
+// returned trace shares backing storage with t.
+func (t *Trace) Prefix(d time.Duration) (*Trace, error) {
+	if t.Interval <= 0 {
+		return nil, errors.New("trace: non-positive interval")
+	}
+	n := int(d / t.Interval)
+	if n < 0 || n > len(t.Samples) {
+		return nil, fmt.Errorf("trace: prefix %v outside captured %v", d, t.Duration())
+	}
+	return &Trace{Interval: t.Interval, Samples: t.Samples[:n]}, nil
+}
+
+// Resample average-pools the trace into exactly n bins, the fixed-width
+// representation fed to the classifier. Each bin is the mean of the
+// samples mapped into it.
+func (t *Trace) Resample(n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, errors.New("trace: non-positive bin count")
+	}
+	if len(t.Samples) == 0 {
+		return nil, errors.New("trace: empty trace")
+	}
+	out := make([]float64, n)
+	counts := make([]int, n)
+	for i, s := range t.Samples {
+		bin := i * n / len(t.Samples)
+		out[bin] += s
+		counts[bin]++
+	}
+	for i := range out {
+		if counts[i] > 0 {
+			out[i] /= float64(counts[i])
+		} else {
+			// More bins than samples: carry the previous bin forward so
+			// the vector stays piecewise constant instead of dropping to 0.
+			if i > 0 {
+				out[i] = out[i-1]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Recorder polls a probe at a fixed rate while the simulation runs.
+// Register it with the engine after every hardware component, so each
+// poll observes that tick's settled sysfs state.
+type Recorder struct {
+	interval time.Duration
+	probe    func() (float64, error)
+	trace    *Trace
+	elapsed  time.Duration
+	err      error
+}
+
+// NewRecorder returns a recorder polling probe every interval.
+func NewRecorder(interval time.Duration, probe func() (float64, error)) (*Recorder, error) {
+	if interval <= 0 {
+		return nil, errors.New("trace: non-positive sampling interval")
+	}
+	if probe == nil {
+		return nil, errors.New("trace: nil probe")
+	}
+	return &Recorder{
+		interval: interval,
+		probe:    probe,
+		trace:    &Trace{Interval: interval},
+	}, nil
+}
+
+// Step implements sim.Steppable.
+func (r *Recorder) Step(now, dt time.Duration) {
+	if r.err != nil {
+		return
+	}
+	r.elapsed += dt
+	for r.elapsed >= r.interval {
+		r.elapsed -= r.interval
+		v, err := r.probe()
+		if err != nil {
+			r.err = err
+			return
+		}
+		r.trace.Samples = append(r.trace.Samples, v)
+	}
+}
+
+// Trace returns the recorded trace and any probe error. A probe error
+// (e.g. fs.ErrPermission after the mitigation is applied) stops the
+// recording at the failing sample.
+func (r *Recorder) Trace() (*Trace, error) { return r.trace, r.err }
+
+// Reset discards recorded samples, keeping the configuration; used
+// between victim runs.
+func (r *Recorder) Reset() {
+	r.trace = &Trace{Interval: r.interval}
+	r.elapsed = 0
+	r.err = nil
+}
+
+// SysfsProbe builds a probe that reads an integer hwmon attribute as the
+// given credential and scales it into base units (scale 1e-3 for the mA
+// and mV attributes, 1e-6 for µW). This is the attacker's actual access
+// path: an unprivileged file read.
+func SysfsProbe(fsys *sysfs.FS, cred sysfs.Cred, path string, scale float64) func() (float64, error) {
+	return func() (float64, error) {
+		raw, err := fsys.ReadFile(cred, path)
+		if err != nil {
+			return 0, err
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(raw), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("trace: parse %s: %w", path, err)
+		}
+		return float64(v) * scale, nil
+	}
+}

@@ -1,0 +1,116 @@
+// Package virus implements the power-virus victim workload used to
+// characterize the side channel (Fig. 2 of the paper).
+//
+// Following Gnad et al. (FPL'17) as reproduced by the paper, the design
+// deploys 160,000 self-toggling instances spread over the die, divided
+// into 160 groups of 1,000 evenly distributed instances. After the
+// bitstream is "deployed", software on the ARM cores can activate any
+// number of groups at runtime, stepping the victim's switching activity
+// through 161 distinct levels (0..160 groups).
+//
+// Deployed-but-inactive instances still contribute static leakage on the
+// rail (modeled by the rail's static current), which is why measured
+// current does not start from zero — a detail the paper calls out.
+package virus
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// Default geometry from the paper.
+const (
+	// DefaultGroups is the number of independently activatable groups.
+	DefaultGroups = 160
+	// DefaultInstancesPerGroup is the instance count per group.
+	DefaultInstancesPerGroup = 1000
+)
+
+// Config describes a power-virus array.
+type Config struct {
+	// Groups is the number of groups; zero means DefaultGroups.
+	Groups int
+	// InstancesPerGroup is the per-group instance count; zero means
+	// DefaultInstancesPerGroup.
+	InstancesPerGroup int
+	// TogglesPerInstance is the equivalent number of toggling logic
+	// elements contributed by one active instance; zero means 1.
+	TogglesPerInstance float64
+}
+
+// Array is the deployed power-virus bitstream. It implements
+// fabric.Circuit.
+type Array struct {
+	groups   int
+	perGroup int
+	toggles  float64
+	active   int
+}
+
+// New validates cfg and returns an inactive array.
+func New(cfg Config) (*Array, error) {
+	if cfg.Groups == 0 {
+		cfg.Groups = DefaultGroups
+	}
+	if cfg.InstancesPerGroup == 0 {
+		cfg.InstancesPerGroup = DefaultInstancesPerGroup
+	}
+	if cfg.TogglesPerInstance == 0 {
+		cfg.TogglesPerInstance = 1
+	}
+	if cfg.Groups < 0 || cfg.InstancesPerGroup < 0 || cfg.TogglesPerInstance < 0 {
+		return nil, errors.New("virus: negative geometry")
+	}
+	return &Array{
+		groups:   cfg.Groups,
+		perGroup: cfg.InstancesPerGroup,
+		toggles:  cfg.TogglesPerInstance,
+	}, nil
+}
+
+// Deploy places the array spread across every clock region of the
+// fabric, the paper's "cover major routing places" layout.
+func (a *Array) Deploy(f *fabric.Fabric) error {
+	return f.Place(a, f.SpreadEvenly())
+}
+
+// Groups returns the number of groups.
+func (a *Array) Groups() int { return a.groups }
+
+// Instances returns the total deployed instance count.
+func (a *Array) Instances() int { return a.groups * a.perGroup }
+
+// ActiveGroups returns the number of currently activated groups.
+func (a *Array) ActiveGroups() int { return a.active }
+
+// SetActiveGroups activates the first n groups, the runtime control the
+// ARM-side software exercises. n must lie in [0, Groups].
+func (a *Array) SetActiveGroups(n int) error {
+	if n < 0 || n > a.groups {
+		return fmt.Errorf("virus: active groups %d outside [0,%d]", n, a.groups)
+	}
+	a.active = n
+	return nil
+}
+
+// CircuitName implements fabric.Circuit.
+func (a *Array) CircuitName() string { return "power-virus" }
+
+// Utilization implements fabric.Circuit: each instance occupies one LUT
+// and one flip-flop (a combinational toggler feeding a register).
+func (a *Array) Utilization() fabric.Resources {
+	n := a.Instances()
+	return fabric.Resources{LUTs: n, FFs: n}
+}
+
+// Step implements fabric.Circuit. The virus is purely level-driven; its
+// activity changes only when groups are (de)activated.
+func (a *Array) Step(now, dt time.Duration) {}
+
+// ActiveElements implements fabric.Circuit.
+func (a *Array) ActiveElements() float64 {
+	return float64(a.active*a.perGroup) * a.toggles
+}
