@@ -32,6 +32,7 @@ import (
 	"repro/internal/board"
 	"repro/internal/core"
 	"repro/internal/dpu"
+	"repro/internal/obs"
 	"repro/internal/sysfs"
 )
 
@@ -239,6 +240,35 @@ func NewBoardByName(name string, cfg BoardConfig) (*Board, error) {
 // step when labels are missing or meaningless.
 func Survey(b *Board, a *Attacker, duration time.Duration) ([]SurveyRow, error) {
 	return core.Survey(b, a, duration)
+}
+
+// ObsSnapshot is a point-in-time copy of the library's observability
+// registry: counters (sysfs reads, INA226 conversions, captures
+// collected, engine ticks), gauges (sim-time/wall-time ratio, progress),
+// histograms with p50/p95/p99 (attacker achieved sample rate, classifier
+// train/predict timings, per-component step latencies), recent spans,
+// and progress events.
+type ObsSnapshot = obs.Snapshot
+
+// ObsHistogramStat is the summary of one snapshot histogram.
+type ObsHistogramStat = obs.HistogramStat
+
+// Snapshot captures the current state of every metric the library
+// records. Metrics accumulate process-wide across boards and
+// experiments; call ResetMetrics first to scope a measurement to one
+// run.
+func Snapshot() ObsSnapshot { return obs.Default.Snapshot() }
+
+// ResetMetrics zeroes the observability registry in place (cached
+// metric handles stay live). The reset is not atomic with respect to a
+// running experiment, so call it between experiments, not during one.
+func ResetMetrics() { obs.Default.Reset() }
+
+// ServeObs serves the observability endpoints (/metrics/snapshot JSON,
+// /debug/vars expvar, /debug/pprof profiling) on addr (":0" picks a
+// free port). It returns the bound address and a shutdown function.
+func ServeObs(addr string) (bound string, shutdown func(), err error) {
+	return obs.Serve(addr, obs.Default)
 }
 
 // ModelZoo returns the 39 DNN architectures of the fingerprinting suite.

@@ -31,7 +31,19 @@ var (
 	printFig3     sync.Once
 	printTableIII sync.Once
 	printFig4     sync.Once
+	printObs      sync.Once
 )
+
+// reportObs prints the obs-layer headline numbers through the public
+// Snapshot API, so benchmark logs record the attacker's achieved
+// sampling rate and engine throughput alongside the accuracy tables.
+func reportObs() {
+	s := Snapshot()
+	if h, ok := s.Histogram("attacker.sample_rate_hz"); ok {
+		fmt.Printf("obs: attacker sample rate p50=%.1f Hz p99=%.1f Hz (%d channel-captures); %d captures; sim/wall ratio %.0fx\n",
+			h.P50, h.P99, h.Count, s.Counter("core.captures"), s.Gauge("sim.ratio"))
+	}
+}
 
 // BenchmarkTableI_BoardCatalog regenerates Table I: the surveyed
 // ARM-FPGA boards and their integrated INA226 sensor counts.
@@ -197,6 +209,7 @@ func BenchmarkTableIII_Fingerprinting(b *testing.B) {
 				[]time.Duration{time.Second, 2 * time.Second, 3 * time.Second,
 					4 * time.Second, 5 * time.Second})
 		})
+		printObs.Do(reportObs)
 	}
 }
 

@@ -38,17 +38,37 @@ import (
 	"repro/internal/core"
 	"repro/internal/dpu"
 	"repro/internal/imagenet"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sysfs"
 	"repro/internal/virus"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	// Global observability flags precede the command:
+	//
+	//	amperebleed [-obs] [-obs-addr host:port] <command> [flags]
+	//
+	// -obs prints a metrics snapshot after the command; -obs-addr serves
+	// expvar, net/http/pprof, and /metrics/snapshot while it runs.
+	obsText := flag.Bool("obs", false, "print an observability snapshot after the command")
+	obsAddr := flag.String("obs-addr", "", "serve /debug/pprof, /debug/vars and /metrics/snapshot on this address while the command runs")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	if *obsAddr != "" {
+		bound, shutdown, err := obs.Serve(*obsAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amperebleed: obs server: %v\n", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "obs: serving http://%s/metrics/snapshot and /debug/pprof/\n", bound)
+	}
 	var err error
 	switch cmd {
 	case "boards":
@@ -92,10 +112,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "amperebleed: %v\n", err)
 		os.Exit(1)
 	}
+	if *obsText {
+		fmt.Println()
+		if err := obs.Default.Snapshot().WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "amperebleed: obs snapshot: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: amperebleed <command> [flags]
+	fmt.Fprintln(os.Stderr, `usage: amperebleed [-obs] [-obs-addr host:port] <command> [flags]
+
+global flags (before the command):
+  -obs            print an observability snapshot (metrics, spans, events)
+                  after the command completes
+  -obs-addr ADDR  serve /debug/pprof, /debug/vars (expvar) and
+                  /metrics/snapshot (JSON) on ADDR while the command runs
 
 commands:
   boards        print the surveyed ARM-FPGA boards (Table I)
@@ -250,14 +283,28 @@ func cmdWatch(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The achieved sampling rate — the quantity the channel capacity
+	// depends on — is recorded per poll and reported as the histogram's
+	// running median, so transient stalls show up as a rate dip.
+	rateHist := obs.H("attacker.sample_rate_hz")
+	last := b.Engine().Now()
 	for i := 0; i < *n; i++ {
 		b.Run(dev.UpdateInterval())
 		v, err := probe()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("t=%8s  %s %s = %.4f\n", b.Engine().Now().Round(time.Millisecond),
-			*label, *kind, v)
+		now := b.Engine().Now()
+		dt := now - last
+		last = now
+		rate := 0.0
+		if dt > 0 {
+			rate = 1 / dt.Seconds()
+			rateHist.Observe(rate)
+		}
+		fmt.Printf("t=%8s  %s %s = %.4f  rate=%5.1f Hz (p50 %.1f Hz over %d samples)\n",
+			now.Round(time.Millisecond), *label, *kind, v,
+			rate, rateHist.Quantile(0.5), rateHist.Count())
 	}
 	return nil
 }

@@ -10,9 +10,15 @@
 // The -paper-scale flag raises the capture budgets to the paper's
 // (10,000 samples per level for Fig. 2; 100,000 samples per key for
 // Fig. 4); expect long runtimes.
+//
+// With -json FILE, benchtab also writes a machine-readable perf
+// artifact (the obs metrics snapshot plus derived engine throughput and
+// attacker sample-rate percentiles), so successive BENCH_*.json files
+// track the simulator's performance trajectory across changes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,8 +26,31 @@ import (
 
 	"repro/internal/board"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
+
+// perfArtifact is the schema of the -json output.
+type perfArtifact struct {
+	// Experiment is the -exp selector the artifact covers.
+	Experiment string `json:"experiment"`
+	// Seed is the root seed.
+	Seed int64 `json:"seed"`
+	// WallSeconds is the total wall-clock runtime.
+	WallSeconds float64 `json:"wall_seconds"`
+	// SimTicks is the number of engine ticks executed across all boards.
+	SimTicks int64 `json:"sim_ticks"`
+	// TicksPerSec is SimTicks over WallSeconds (aggregate engine
+	// throughput; parallel boards push it above one engine's rate).
+	TicksPerSec float64 `json:"ticks_per_sec"`
+	// SimWallRatio is total simulated time over total in-engine wall
+	// time: how much faster than real time the simulation ran.
+	SimWallRatio float64 `json:"sim_wall_ratio"`
+	// SampleRate summarizes the attacker's achieved sampling rate (Hz).
+	SampleRate obs.HistogramStat `json:"attacker_sample_rate_hz"`
+	// Obs is the full metrics snapshot.
+	Obs obs.Snapshot `json:"obs"`
+}
 
 func main() {
 	var (
@@ -30,8 +59,10 @@ func main() {
 		samples    = flag.Int("samples", 0, "samples per level (fig2) / per key (fig4); 0 = default budget")
 		traces     = flag.Int("traces", 10, "traces per model for table3")
 		paperScale = flag.Bool("paper-scale", false, "use the paper's full capture budgets (slow)")
+		jsonOut    = flag.String("json", "", "write a JSON perf artifact (obs snapshot + derived rates), e.g. BENCH_obs.json")
 	)
 	flag.Parse()
+	start := time.Now()
 
 	run := func(name string, f func() error) {
 		switch *exp {
@@ -152,4 +183,45 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if *jsonOut != "" {
+		if err := writeArtifact(*jsonOut, *exp, *seed, time.Since(start)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("perf artifact written to %s\n", *jsonOut)
+	}
+}
+
+// writeArtifact snapshots the obs registry and derives the headline
+// throughput numbers the perf trajectory tracks.
+func writeArtifact(path, exp string, seed int64, wall time.Duration) error {
+	snap := obs.Default.Snapshot()
+	art := perfArtifact{
+		Experiment:  exp,
+		Seed:        seed,
+		WallSeconds: wall.Seconds(),
+		SimTicks:    snap.Counter("sim.ticks"),
+		Obs:         snap,
+	}
+	if wall > 0 {
+		art.TicksPerSec = float64(art.SimTicks) / wall.Seconds()
+	}
+	if engineWall := snap.Counter("sim.walltime_ns"); engineWall > 0 {
+		art.SimWallRatio = float64(snap.Counter("sim.simtime_ns")) / float64(engineWall)
+	}
+	if h, ok := snap.Histogram("attacker.sample_rate_hz"); ok {
+		art.SampleRate = h
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

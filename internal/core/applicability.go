@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/board"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/sysfs"
 	"repro/internal/virus"
@@ -58,13 +59,17 @@ func Applicability(cfg ApplicabilityConfig) ([]BoardApplicability, error) {
 		return nil, errors.New("core: non-positive samples per level")
 	}
 
+	catalog := board.Catalog()
+	obs.Eventf("applicability: %d boards starting", len(catalog))
 	var out []BoardApplicability
-	for _, spec := range board.Catalog() {
+	for i, spec := range catalog {
 		row, err := applicabilityOne(cfg, spec)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, row)
+		obs.Eventf("applicability: %d/%d boards done (%s: %d sensors, r=%.3f)",
+			i+1, len(catalog), row.Board, row.Sensors, row.CurrentPearson)
 	}
 	return out, nil
 }
@@ -76,6 +81,8 @@ func applicabilityOne(cfg ApplicabilityConfig, spec board.Spec) (BoardApplicabil
 	if err != nil {
 		return BoardApplicability{}, err
 	}
+	span := obs.StartSpan("core.applicability_board", b.Engine())
+	defer span.End()
 	array, err := virus.New(virus.Config{Groups: cfg.Levels - 1})
 	if err != nil {
 		return BoardApplicability{}, err

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/ml/features"
 	"repro/internal/ml/rforest"
+	"repro/internal/obs"
 )
 
 // Classifier is the online phase of the fingerprinting attack: a random
@@ -52,11 +53,13 @@ func TrainClassifier(cfg FingerprintConfig, captures []*Capture, ch Channel, d t
 		return nil, errors.New("core: need captures of at least two models")
 	}
 	seed := captureSeed(cfg.Seed, fmt.Sprintf("classifier/%v/%v", ch, d), 0)
+	span := obs.StartSpan("core.train", nil)
 	forest, err := rforest.Train(rforest.Config{
 		Trees:    cfg.Trees,
 		MaxDepth: cfg.MaxDepth,
 		Rand:     rand.New(rand.NewSource(seed)),
 	}, ds.X, ds.Y, len(ds.Classes))
+	span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -143,6 +146,8 @@ const summaryFeatureCount = 6
 
 // TopK returns the k most likely model names, most likely first.
 func (c *Classifier) TopK(capt *Capture, k int) ([]string, error) {
+	span := obs.StartSpan("core.predict", nil)
+	defer span.End()
 	vec, err := c.vectorFor(capt)
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/board"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/ml/crossval"
 	"repro/internal/ml/features"
 	"repro/internal/ml/rforest"
+	"repro/internal/obs"
 	"repro/internal/sysfs"
 	"repro/internal/trace"
 )
@@ -169,6 +171,9 @@ func CollectDPUTraces(cfg FingerprintConfig) ([]*Capture, error) {
 	captures := make([]*Capture, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
+	var done atomic.Int64
+	obs.Eventf("collect: %d captures (%d models x %d reps) starting",
+		len(jobs), len(cfg.Models), cfg.TracesPerModel)
 	sem := make(chan struct{}, cfg.Parallelism)
 	for ji, j := range jobs {
 		wg.Add(1)
@@ -177,6 +182,14 @@ func CollectDPUTraces(cfg FingerprintConfig) ([]*Capture, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			captures[ji], errs[ji] = captureOne(cfg, j.model, j.rep)
+			n := done.Add(1)
+			obs.G("core.collect_progress").Set(float64(n) / float64(len(jobs)))
+			// One event per model's worth of captures keeps the bounded
+			// event ring covering the whole run.
+			if n%int64(cfg.TracesPerModel) == 0 || int(n) == len(jobs) {
+				obs.Eventf("collect: %d/%d captures done (last %s/%d)",
+					n, len(jobs), j.model, j.rep)
+			}
 		}(ji, j)
 	}
 	wg.Wait()
@@ -256,16 +269,26 @@ func captureOne(cfg FingerprintConfig, modelName string, rep int) (*Capture, err
 			return nil, err
 		}
 	}
+	span := obs.StartSpan("core.capture", b.Engine())
 	b.Run(cfg.TraceDuration + interval) // one extra update so prefixes fit
+	span.End()
 
 	cap := &Capture{Model: modelName, Rep: rep, Traces: make(map[Channel]*trace.Trace)}
+	rateHist := obs.H("attacker.sample_rate_hz")
 	for ch, rec := range recorders {
 		tr, err := rec.Trace()
 		if err != nil {
 			return nil, fmt.Errorf("core: channel %v: %w", ch, err)
 		}
 		cap.Traces[ch] = tr
+		// The achieved sampling rate in simulated time: the quantity the
+		// channel capacity of every experiment depends on. One value per
+		// channel per capture.
+		if d := tr.Duration(); d > 0 {
+			rateHist.Observe(float64(len(tr.Samples)) / d.Seconds())
+		}
 	}
+	obs.C("core.captures").Inc()
 	return cap, nil
 }
 
@@ -334,6 +357,8 @@ func EvaluateCaptures(cfg FingerprintConfig, captures []*Capture) (*FingerprintR
 	out := make([]AccuracyCell, len(cells))
 	errs := make([]error, len(cells))
 	var wg sync.WaitGroup
+	var done atomic.Int64
+	obs.Eventf("evaluate: %d (channel,duration) cells starting", len(cells))
 	sem := make(chan struct{}, cfg.Parallelism)
 	for i, c := range cells {
 		wg.Add(1)
@@ -342,6 +367,11 @@ func EvaluateCaptures(cfg FingerprintConfig, captures []*Capture) (*FingerprintR
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			out[i], errs[i] = evaluateCell(cfg, captures, c.ch, c.d)
+			n := done.Add(1)
+			if errs[i] == nil && (n%10 == 0 || int(n) == len(cells)) {
+				obs.Eventf("evaluate: %d/%d cells done (last %v @ %v: top1=%.3f)",
+					n, len(cells), c.ch, c.d, out[i].Top1)
+			}
 		}(i, c)
 	}
 	wg.Wait()
@@ -378,11 +408,15 @@ func evaluateCell(cfg FingerprintConfig, captures []*Capture, ch Channel, d time
 	}
 	seed := captureSeed(cfg.Seed, fmt.Sprintf("eval/%v/%v", ch, d), 0)
 	rng := rand.New(rand.NewSource(seed))
+	// The cross-validated evaluation is folds x (train + predict); its
+	// span is the classifier cost of one Table III cell.
+	span := obs.StartSpan("core.crossval", nil)
 	res, err := crossval.Evaluate(&ds, rforest.Config{
 		Trees:    cfg.Trees,
 		MaxDepth: cfg.MaxDepth,
 		Rand:     rng,
 	}, cfg.Folds, rng)
+	span.End()
 	if err != nil {
 		return AccuracyCell{}, err
 	}

@@ -28,6 +28,19 @@ import (
 	"math"
 	"math/rand"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Conversion-cycle and register-read counters, aggregated over every
+// device in the process (the fingerprinting pipeline runs many boards,
+// each with up to 18 sensors, in parallel). The ratio of reads to
+// conversions is the oversampling factor: reads beyond one per
+// conversion return the same latched registers and carry no new
+// side-channel information.
+var (
+	obsConversions   = obs.C("ina226.conversions")
+	obsRegisterReads = obs.C("ina226.register_reads")
 )
 
 // Datasheet and driver constants.
@@ -251,6 +264,7 @@ func (d *Device) latch() {
 		d.powerReg = 0
 	}
 	d.updates++
+	obsConversions.Inc()
 	d.evaluateAlert()
 }
 
@@ -279,6 +293,7 @@ type Readings struct {
 
 // Read returns the currently latched measurements.
 func (d *Device) Read() Readings {
+	obsRegisterReads.Inc()
 	return Readings{
 		CurrentAmps: float64(d.currentReg) * d.currentLSB,
 		BusVolts:    float64(d.busReg) * BusLSB,

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/ml/features"
 	"repro/internal/ml/rforest"
+	"repro/internal/obs"
 )
 
 // Result holds cross-validated accuracies.
@@ -106,13 +107,19 @@ func EvaluateDetailed(ds *features.Dataset, cfg rforest.Config, k int, rng *rand
 				trY = append(trY, ds.Y[i])
 			}
 		}
+		trainSpan := obs.StartSpan("ml.fold_train", nil)
 		forest, err := rforest.Train(cfg, trX, trY, classes)
+		trainSpan.End()
 		if err != nil {
 			return Detailed{}, fmt.Errorf("crossval: fold %d: %w", fi, err)
 		}
+		// One predict span per fold (not per sample), so the span ring
+		// keeps covering whole folds on large grids.
+		predictSpan := obs.StartSpan("ml.fold_predict", nil)
 		for _, i := range test {
 			top, err := forest.TopK(ds.X[i], topN)
 			if err != nil {
+				predictSpan.End()
 				return Detailed{}, err
 			}
 			confusion[ds.Y[i]][top[0]]++
@@ -127,6 +134,7 @@ func EvaluateDetailed(ds *features.Dataset, cfg rforest.Config, k int, rng *rand
 			}
 			total++
 		}
+		predictSpan.End()
 	}
 	if total == 0 {
 		return Detailed{}, errors.New("crossval: no test samples")

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar publication of the Default registry:
+// expvar.Publish panics on duplicate names, and tests may build several
+// handlers.
+var publishOnce sync.Once
+
+// NewHandler returns the observability HTTP handler:
+//
+//	/metrics/snapshot   JSON Snapshot of the registry
+//	/debug/vars         expvar (Go runtime memstats + the obs snapshot)
+//	/debug/pprof/...    net/http/pprof profiling endpoints
+//
+// The handler is mounted on its own mux so importing this package never
+// touches http.DefaultServeMux.
+func NewHandler(r *Registry) http.Handler {
+	if r == Default {
+		publishOnce.Do(func() {
+			expvar.Publish("obs", expvar.Func(func() any { return Default.Snapshot() }))
+		})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics/snapshot", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability server on addr (e.g. "localhost:6060";
+// ":0" picks a free port) and returns the bound address and a shutdown
+// function. The server runs until shutdown is called or the process
+// exits; serving errors after a successful bind are dropped, as the
+// endpoint is diagnostic.
+func Serve(addr string, r *Registry) (bound string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewHandler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

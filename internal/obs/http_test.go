@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerSnapshotEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.ticks").Add(42)
+	r.Histogram("attacker.sample_rate_hz").Observe(28.5)
+	srv := httptest.NewServer(NewHandler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counter("sim.ticks") != 42 {
+		t.Fatalf("served snapshot counter = %d", s.Counter("sim.ticks"))
+	}
+	if h, ok := s.Histogram("attacker.sample_rate_hz"); !ok || h.Count != 1 {
+		t.Fatalf("served histogram = %+v ok=%v", h, ok)
+	}
+}
+
+func TestHandlerPprofAndExpvar(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewRegistry()))
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status = %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Fatalf("%s returned an empty body", path)
+		}
+	}
+}
+
+func TestServeBindsAndShutsDown(t *testing.T) {
+	addr, shutdown, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	shutdown()
+	if _, err := http.Get("http://" + addr + "/metrics/snapshot"); err == nil {
+		t.Fatal("server still answering after shutdown")
+	}
+}

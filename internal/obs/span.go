@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// SimClock supplies the current simulated time; *sim.Engine satisfies
+// it. Spans started with a clock record sim-clock durations next to
+// wall-clock ones, so a trace of the attack pipeline lines up with the
+// simulated hardware events it drove.
+type SimClock interface {
+	Now() time.Duration
+}
+
+// Span is one timed operation. It is a value type so starting a span on
+// a hot path does not allocate; End records the durations into the
+// registry's histograms and the recent-span ring.
+type Span struct {
+	reg       *Registry
+	name      string
+	clock     SimClock
+	wallStart time.Time
+	simStart  time.Duration
+}
+
+// StartSpan begins a span. clock may be nil when no simulation is
+// attached (e.g. classifier training); such spans record wall time only.
+func (r *Registry) StartSpan(name string, clock SimClock) Span {
+	s := Span{reg: r, name: name, clock: clock, wallStart: time.Now()}
+	if clock != nil {
+		s.simStart = clock.Now()
+	}
+	return s
+}
+
+// StartSpan begins a span on the Default registry.
+func StartSpan(name string, clock SimClock) Span {
+	return Default.StartSpan(name, clock)
+}
+
+// End closes the span: wall (and, when a clock is attached, sim)
+// durations are recorded into "span.<name>.wall_ns" / ".sim_ns"
+// histograms and the span joins the bounded recent-span ring.
+func (s Span) End() {
+	if s.reg == nil {
+		return
+	}
+	wall := time.Since(s.wallStart)
+	rec := SpanRecord{Name: s.name, EndedAt: time.Now(), Wall: wall}
+	s.reg.Histogram("span." + s.name + ".wall_ns").Observe(float64(wall.Nanoseconds()))
+	if s.clock != nil {
+		sim := s.clock.Now() - s.simStart
+		rec.Sim = sim
+		rec.HasSim = true
+		s.reg.Histogram("span." + s.name + ".sim_ns").Observe(float64(sim.Nanoseconds()))
+	}
+	s.reg.mu.Lock()
+	s.reg.spans.add(rec)
+	s.reg.mu.Unlock()
+}
+
+// SpanRecord is one completed span in the recent-span ring.
+type SpanRecord struct {
+	// Name of the span.
+	Name string `json:"name"`
+	// EndedAt is the wall-clock completion time.
+	EndedAt time.Time `json:"ended_at"`
+	// Wall is the wall-clock duration.
+	Wall time.Duration `json:"wall_ns"`
+	// Sim is the sim-clock duration; meaningful iff HasSim.
+	Sim time.Duration `json:"sim_ns"`
+	// HasSim reports whether the span carried a simulation clock.
+	HasSim bool `json:"has_sim"`
+}
+
+// Event is one timestamped progress message.
+type Event struct {
+	// At is the wall-clock time the event was recorded.
+	At time.Time `json:"at"`
+	// Msg is the formatted message.
+	Msg string `json:"msg"`
+}
+
+// ringSize bounds the recent-span and event rings; old entries are
+// overwritten, so long experiments keep constant memory.
+const ringSize = 64
+
+type eventRing struct {
+	buf  [ringSize]Event
+	next int
+	n    int
+}
+
+func (r *eventRing) add(e Event) {
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % ringSize
+	if r.n < ringSize {
+		r.n++
+	}
+}
+
+func (r *eventRing) list() []Event {
+	out := make([]Event, 0, r.n)
+	start := (r.next - r.n + ringSize) % ringSize
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%ringSize])
+	}
+	return out
+}
+
+func (r *eventRing) reset() { *r = eventRing{} }
+
+type spanRing struct {
+	buf  [ringSize]SpanRecord
+	next int
+	n    int
+}
+
+func (r *spanRing) add(s SpanRecord) {
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % ringSize
+	if r.n < ringSize {
+		r.n++
+	}
+}
+
+func (r *spanRing) list() []SpanRecord {
+	out := make([]SpanRecord, 0, r.n)
+	start := (r.next - r.n + ringSize) % ringSize
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%ringSize])
+	}
+	return out
+}
+
+func (r *spanRing) reset() { *r = spanRing{} }
+
+// Eventf records a progress event, keeping only the most recent
+// ringSize events. Long offline phases (Fingerprint's hundreds of
+// captures, Applicability's board loop) emit these so a snapshot taken
+// mid-run shows where the pipeline is.
+func (r *Registry) Eventf(format string, args ...any) {
+	e := Event{At: time.Now(), Msg: fmt.Sprintf(format, args...)}
+	r.mu.Lock()
+	r.events.add(e)
+	r.mu.Unlock()
+}
+
+// Eventf records a progress event on the Default registry.
+func Eventf(format string, args ...any) { Default.Eventf(format, args...) }
+
+// Events returns the retained events, oldest first.
+func (r *Registry) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.events.list()
+}
+
+// RecentSpans returns the retained completed spans, oldest first.
+func (r *Registry) RecentSpans() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spans.list()
+}

@@ -20,6 +20,8 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Steppable is a simulated component advanced once per engine tick.
@@ -45,7 +47,28 @@ type Engine struct {
 	parts   []Steppable
 	names   map[string]bool
 	streams map[string]*rand.Rand
+
+	// Observability. Counters aggregate across every live engine (the
+	// fingerprinting pipeline runs many boards in parallel); the ratio
+	// gauge is per-Run, last writer wins. Per-component step latencies
+	// are sampled every stepSampleEvery ticks so the instrumentation
+	// stays off the hot path.
+	tickCount   uint64
+	wallInRun   time.Duration
+	simInRun    time.Duration
+	obsTicks    *obs.Counter
+	obsSimNs    *obs.Counter
+	obsWallNs   *obs.Counter
+	obsRatio    *obs.Gauge
+	obsTickNs   *obs.Histogram
+	obsStepHist []*obs.Histogram // parallel to parts
 }
+
+// stepSampleEvery is the tick sampling period for per-component step
+// latency histograms: one timed tick in every 128 keeps the overhead of
+// the extra clock reads around a percent while still collecting
+// thousands of samples per multi-second experiment.
+const stepSampleEvery = 128
 
 // DefaultStep is the engine resolution used by the experiments: 100 µs,
 // fine enough to resolve the 2 ms minimum INA226 conversion window and
@@ -58,10 +81,15 @@ func NewEngine(dt time.Duration, seed int64) (*Engine, error) {
 		return nil, errors.New("sim: non-positive step")
 	}
 	return &Engine{
-		dt:      dt,
-		seed:    seed,
-		names:   make(map[string]bool),
-		streams: make(map[string]*rand.Rand),
+		dt:        dt,
+		seed:      seed,
+		names:     make(map[string]bool),
+		streams:   make(map[string]*rand.Rand),
+		obsTicks:  obs.C("sim.ticks"),
+		obsSimNs:  obs.C("sim.simtime_ns"),
+		obsWallNs: obs.C("sim.walltime_ns"),
+		obsRatio:  obs.G("sim.ratio"),
+		obsTickNs: obs.H("sim.tick_ns"),
 	}, nil
 }
 
@@ -94,6 +122,7 @@ func (e *Engine) Register(name string, s Steppable) error {
 	}
 	e.names[name] = true
 	e.parts = append(e.parts, s)
+	e.obsStepHist = append(e.obsStepHist, obs.H("sim.step."+name))
 	return nil
 }
 
@@ -122,10 +151,48 @@ func (e *Engine) Stream(name string) *rand.Rand {
 
 // Tick advances the simulation by one step.
 func (e *Engine) Tick() {
-	for _, p := range e.parts {
-		p.Step(e.now, e.dt)
+	e.tickCount++
+	if e.tickCount%stepSampleEvery == 0 {
+		e.tickSampled()
+	} else {
+		for _, p := range e.parts {
+			p.Step(e.now, e.dt)
+		}
 	}
 	e.now += e.dt
+	e.obsTicks.Inc()
+}
+
+// tickSampled is Tick with per-component wall-clock timing; it runs on
+// one tick in every stepSampleEvery. One clock read per component
+// boundary: component i is charged the interval between boundary i and
+// i+1.
+func (e *Engine) tickSampled() {
+	tickStart := time.Now()
+	prev := tickStart
+	for i, p := range e.parts {
+		p.Step(e.now, e.dt)
+		now := time.Now()
+		e.obsStepHist[i].Observe(float64(now.Sub(prev).Nanoseconds()))
+		prev = now
+	}
+	e.obsTickNs.Observe(float64(prev.Sub(tickStart).Nanoseconds()))
+}
+
+// account records a completed Run/RunUntil stretch in the obs layer:
+// cumulative sim and wall nanoseconds (global counters) and this
+// engine's lifetime sim-time/wall-time ratio (gauge).
+func (e *Engine) account(sim, wall time.Duration) {
+	if sim <= 0 {
+		return
+	}
+	e.simInRun += sim
+	e.wallInRun += wall
+	e.obsSimNs.Add(sim.Nanoseconds())
+	e.obsWallNs.Add(wall.Nanoseconds())
+	if e.wallInRun > 0 {
+		e.obsRatio.Set(float64(e.simInRun) / float64(e.wallInRun))
+	}
 }
 
 // Run advances the simulation by d (rounded up to a whole number of
@@ -135,9 +202,11 @@ func (e *Engine) Run(d time.Duration) int {
 		return 0
 	}
 	n := int((d + e.dt - 1) / e.dt)
+	start := time.Now()
 	for i := 0; i < n; i++ {
 		e.Tick()
 	}
+	e.account(time.Duration(n)*e.dt, time.Since(start))
 	return n
 }
 
@@ -145,6 +214,8 @@ func (e *Engine) Run(d time.Duration) int {
 // the budget elapses, whichever comes first. It reports whether the
 // predicate fired.
 func (e *Engine) RunUntil(pred func() bool, budget time.Duration) bool {
+	start, simStart := time.Now(), e.now
+	defer func() { e.account(e.now-simStart, time.Since(start)) }()
 	deadline := e.now + budget
 	for e.now < deadline {
 		if pred() {

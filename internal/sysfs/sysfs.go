@@ -19,7 +19,10 @@ import (
 	"path"
 	"sort"
 	"strings"
+	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Cred identifies the caller for permission checks.
@@ -72,11 +75,45 @@ func (n *node) isDir() bool { return n.attr == nil }
 // FS is an in-memory sysfs tree.
 type FS struct {
 	root *node
+
+	// Read-side observability: every attacker measurement is a sysfs
+	// read, so these counters are the ground truth of how much sensor
+	// data the unprivileged side actually obtained. attrReads caches
+	// per-attribute-basename counters ("sysfs.reads.curr1_input", ...)
+	// so the hot read path does one sync.Map load instead of a registry
+	// lookup.
+	attrReads  sync.Map // basename -> *obs.Counter
+	obsReads   *obs.Counter
+	obsBytes   *obs.Counter
+	obsDenied  *obs.Counter
+	obsWrites  *obs.Counter
+	obsMissing *obs.Counter
 }
 
 // New returns an empty tree.
 func New() *FS {
-	return &FS{root: &node{name: ".", children: make(map[string]*node)}}
+	return &FS{
+		root:       &node{name: ".", children: make(map[string]*node)},
+		obsReads:   obs.C("sysfs.reads"),
+		obsBytes:   obs.C("sysfs.read_bytes"),
+		obsDenied:  obs.C("sysfs.denied"),
+		obsWrites:  obs.C("sysfs.writes"),
+		obsMissing: obs.C("sysfs.not_exist"),
+	}
+}
+
+// countRead records one successful attribute read of n bytes.
+func (f *FS) countRead(p string, n int) {
+	f.obsReads.Inc()
+	f.obsBytes.Add(int64(n))
+	base := path.Base(p)
+	if c, ok := f.attrReads.Load(base); ok {
+		c.(*obs.Counter).Inc()
+		return
+	}
+	c := obs.C("sysfs.reads." + base)
+	f.attrReads.Store(base, c)
+	c.Inc()
 }
 
 func splitPath(p string) ([]string, error) {
@@ -177,15 +214,21 @@ func (f *FS) SetMode(p string, mode fs.FileMode) error {
 func (f *FS) ReadFile(c Cred, p string) (string, error) {
 	n, err := f.resolve(p)
 	if err != nil {
+		f.obsMissing.Inc()
 		return "", err
 	}
 	if n.isDir() {
 		return "", fmt.Errorf("sysfs: %s: is a directory", p)
 	}
 	if !readable(c, n.attr.Mode) {
+		f.obsDenied.Inc()
 		return "", fmt.Errorf("sysfs: read %s: %w", p, fs.ErrPermission)
 	}
-	return n.attr.Show()
+	out, err := n.attr.Show()
+	if err == nil {
+		f.countRead(p, len(out))
+	}
+	return out, err
 }
 
 // WriteFile writes an attribute as the given credential.
@@ -198,12 +241,17 @@ func (f *FS) WriteFile(c Cred, p, value string) error {
 		return fmt.Errorf("sysfs: %s: is a directory", p)
 	}
 	if !writable(c, n.attr.Mode) {
+		f.obsDenied.Inc()
 		return fmt.Errorf("sysfs: write %s: %w", p, fs.ErrPermission)
 	}
 	if n.attr.Store == nil {
 		return fmt.Errorf("sysfs: write %s: %w", p, errors.ErrUnsupported)
 	}
-	return n.attr.Store(value)
+	err = n.attr.Store(value)
+	if err == nil {
+		f.obsWrites.Inc()
+	}
+	return err
 }
 
 // ReadDir lists a directory, sorted by name.
@@ -268,12 +316,14 @@ func (v *view) Open(name string) (fs.File, error) {
 		return &dirFile{node: n, entries: entries, fsys: v.fsys, path: name}, nil
 	}
 	if !readable(v.cred, n.attr.Mode) {
+		v.fsys.obsDenied.Inc()
 		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrPermission}
 	}
 	content, err := n.attr.Show()
 	if err != nil {
 		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
 	}
+	v.fsys.countRead(name, len(content))
 	return &attrFile{node: n, Reader: bytes.NewReader([]byte(content))}, nil
 }
 
