@@ -326,6 +326,7 @@ func cmdCharacterize(args []string) error {
 	levels := fs.Int("levels", 0, "activation levels (0 = paper's 161)")
 	samples := fs.Int("samples", 20, "hwmon updates averaged per level")
 	noStab := fs.Bool("no-stabilizer", false, "disable the VCCINT stabilizer (ablation)")
+	parallel := fs.Int("parallel", 0, "worker count of the sharded per-level sweep (0 = classic serial protocol; results are identical for any worker count >= 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -334,6 +335,7 @@ func cmdCharacterize(args []string) error {
 		Levels:            *levels,
 		SamplesPerLevel:   *samples,
 		DisableStabilizer: *noStab,
+		Parallelism:       *parallel,
 	})
 	if err != nil {
 		return err
@@ -351,6 +353,7 @@ func cmdFingerprint(args []string) error {
 	interval := fs.Duration("update-interval", 0, "hwmon update interval override (root)")
 	save := fs.String("save", "", "write the collected captures to this JSON file")
 	load := fs.String("load", "", "reuse captures from this JSON file instead of collecting")
+	parallel := fs.Int("parallel", 0, "workers for trace capture and evaluation shards (0 = GOMAXPROCS; results are identical for any worker count)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -360,6 +363,7 @@ func cmdFingerprint(args []string) error {
 		TraceDuration:  *dur,
 		Folds:          *folds,
 		UpdateInterval: *interval,
+		Parallelism:    *parallel,
 	}
 	if *models != "" {
 		cfg.Models = strings.Split(*models, ",")
@@ -489,10 +493,14 @@ func cmdLeakage(args []string) error {
 func cmdApplicability(args []string) error {
 	fs := flag.NewFlagSet("applicability", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "experiment seed")
+	parallel := fs.Int("parallel", 0, "workers for the per-board shards (0 = GOMAXPROCS; results are identical for any worker count)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := core.Applicability(core.ApplicabilityConfig{Seed: *seed})
+	rows, err := core.Applicability(core.ApplicabilityConfig{
+		Seed:        *seed,
+		Parallelism: *parallel,
+	})
 	if err != nil {
 		return err
 	}
@@ -586,6 +594,7 @@ func cmdCovert(args []string) error {
 	bits := fs.Int("bits", 128, "payload bits")
 	symbol := fs.Int("symbol-updates", 1, "symbol duration in sensor updates")
 	interval := fs.Duration("update-interval", 0, "sensor update interval override (root)")
+	parallel := fs.Int("parallel", 0, "workers of the multi-channel chunked protocol (0 = classic single transmission; results are identical for any worker count >= 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -594,6 +603,7 @@ func cmdCovert(args []string) error {
 		PayloadBits:    *bits,
 		SymbolUpdates:  *symbol,
 		UpdateInterval: *interval,
+		Parallelism:    *parallel,
 	})
 	if err != nil {
 		return err

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/board"
@@ -29,6 +30,26 @@ import (
 	"repro/internal/obs"
 	"repro/internal/report"
 )
+
+// parallelBench compares the sharded runner against the serial path on
+// the cross-board applicability sweep: the same shard set executed with
+// one worker and with N, with aggregate engine throughput for each. The
+// rows are bit-identical by construction (the runner derives every
+// shard's seed from the campaign key, not the schedule), so the two
+// runs differ only in wall clock.
+type parallelBench struct {
+	// Workers of the parallel run (the -parallel flag, or GOMAXPROCS).
+	Workers int `json:"workers"`
+	// SerialTicksPerSec is the sweep's engine throughput at one worker.
+	SerialTicksPerSec float64 `json:"serial_ticks_per_sec"`
+	// ParallelTicksPerSec is the throughput at Workers workers.
+	ParallelTicksPerSec float64 `json:"parallel_ticks_per_sec"`
+	// Speedup is ParallelTicksPerSec / SerialTicksPerSec. On a
+	// single-CPU host this hovers near 1.0; it only reflects the
+	// hardware the artifact was produced on, so it is reported, never
+	// asserted.
+	Speedup float64 `json:"speedup"`
+}
 
 // perfArtifact is the schema of the -json output.
 type perfArtifact struct {
@@ -48,6 +69,8 @@ type perfArtifact struct {
 	SimWallRatio float64 `json:"sim_wall_ratio"`
 	// SampleRate summarizes the attacker's achieved sampling rate (Hz).
 	SampleRate obs.HistogramStat `json:"attacker_sample_rate_hz"`
+	// Parallel is the serial-vs-parallel cross-board sweep comparison.
+	Parallel *parallelBench `json:"parallel,omitempty"`
 	// Obs is the full metrics snapshot.
 	Obs obs.Snapshot `json:"obs"`
 }
@@ -60,6 +83,7 @@ func main() {
 		traces     = flag.Int("traces", 10, "traces per model for table3")
 		paperScale = flag.Bool("paper-scale", false, "use the paper's full capture budgets (slow)")
 		jsonOut    = flag.String("json", "", "write a JSON perf artifact (obs snapshot + derived rates), e.g. BENCH_obs.json")
+		parallel   = flag.Int("parallel", 0, "workers for sharded experiments (0 = GOMAXPROCS; results are identical for any worker count)")
 	)
 	flag.Parse()
 	start := time.Now()
@@ -110,6 +134,7 @@ func main() {
 			Durations:      []time.Duration{5 * time.Second},
 			Folds:          1,
 			Channels:       channels,
+			Parallelism:    *parallel,
 		})
 		if err != nil {
 			return err
@@ -120,6 +145,7 @@ func main() {
 		res, err := core.Fingerprint(core.FingerprintConfig{
 			Seed:           *seed,
 			TracesPerModel: *traces,
+			Parallelism:    *parallel,
 		})
 		if err != nil {
 			return err
@@ -143,7 +169,10 @@ func main() {
 		return report.RenderFig4(os.Stdout, res)
 	})
 	run("applicability", func() error {
-		rows, err := core.Applicability(core.ApplicabilityConfig{Seed: *seed})
+		rows, err := core.Applicability(core.ApplicabilityConfig{
+			Seed:        *seed,
+			Parallelism: *parallel,
+		})
 		if err != nil {
 			return err
 		}
@@ -185,7 +214,12 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		if err := writeArtifact(*jsonOut, *exp, *seed, time.Since(start)); err != nil {
+		pb, err := benchParallel(*seed, *parallel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: parallel bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := writeArtifact(*jsonOut, *exp, *seed, time.Since(start), pb); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}
@@ -193,15 +227,58 @@ func main() {
 	}
 }
 
+// benchParallel runs the cross-board applicability sweep twice — once
+// on a single worker, once on the requested worker count — and measures
+// aggregate engine throughput for each from the obs sim.ticks delta.
+func benchParallel(seed int64, workers int) (*parallelBench, error) {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	measure := func(w int) (float64, error) {
+		before := obs.Default.Snapshot().Counter("sim.ticks")
+		start := time.Now()
+		if _, err := core.Applicability(core.ApplicabilityConfig{
+			Seed:        seed,
+			Parallelism: w,
+		}); err != nil {
+			return 0, err
+		}
+		wall := time.Since(start).Seconds()
+		ticks := obs.Default.Snapshot().Counter("sim.ticks") - before
+		if wall <= 0 {
+			return 0, nil
+		}
+		return float64(ticks) / wall, nil
+	}
+	serial, err := measure(1)
+	if err != nil {
+		return nil, err
+	}
+	par, err := measure(workers)
+	if err != nil {
+		return nil, err
+	}
+	pb := &parallelBench{
+		Workers:             workers,
+		SerialTicksPerSec:   serial,
+		ParallelTicksPerSec: par,
+	}
+	if serial > 0 {
+		pb.Speedup = par / serial
+	}
+	return pb, nil
+}
+
 // writeArtifact snapshots the obs registry and derives the headline
 // throughput numbers the perf trajectory tracks.
-func writeArtifact(path, exp string, seed int64, wall time.Duration) error {
+func writeArtifact(path, exp string, seed int64, wall time.Duration, pb *parallelBench) error {
 	snap := obs.Default.Snapshot()
 	art := perfArtifact{
 		Experiment:  exp,
 		Seed:        seed,
 		WallSeconds: wall.Seconds(),
 		SimTicks:    snap.Counter("sim.ticks"),
+		Parallel:    pb,
 		Obs:         snap,
 	}
 	if wall > 0 {

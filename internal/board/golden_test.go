@@ -1,0 +1,139 @@
+package board_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/ina226"
+	"repro/internal/virus"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace files under testdata/golden")
+
+// goldenSeed pins the whole wiring; the traces are a regression surface
+// for every substrate underneath (fabric, PDN, regulator, INA226,
+// hwmon), so any change to the simulated physics shows up as a diff.
+const goldenSeed = 1234
+
+// goldenLevels is the deterministic activity schedule driven through
+// the power virus on every board.
+var goldenLevels = []int{0, 20, 60, 120, 160}
+
+const (
+	goldenWarmup  = 3 // update intervals discarded after a level switch
+	goldenSamples = 5 // latched current readings recorded per level
+)
+
+// goldenTrace runs the schedule on one catalog board and returns the
+// FPGA-sensor current trace quantized to whole milliamps (the INA226
+// current register times its 1 mA LSB), one line per sample.
+func goldenTrace(t *testing.T, spec board.Spec) []string {
+	t.Helper()
+	b, err := board.Wire(spec, board.Config{Seed: goldenSeed})
+	if err != nil {
+		t.Fatalf("wire %s: %v", spec.Name, err)
+	}
+	array, err := virus.New(virus.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := array.Deploy(b.Fabric()); err != nil {
+		t.Fatalf("deploy on %s: %v", spec.Name, err)
+	}
+	dev, err := b.Sensor(board.SensorFPGA)
+	if err != nil {
+		t.Fatalf("%s: %v", spec.Name, err)
+	}
+	interval := dev.UpdateInterval()
+	b.Run(5 * interval) // settle the rails before the schedule starts
+
+	var lines []string
+	for _, level := range goldenLevels {
+		if err := array.SetActiveGroups(level); err != nil {
+			t.Fatalf("%s: level %d: %v", spec.Name, level, err)
+		}
+		b.Run(goldenWarmup * interval)
+		for s := 0; s < goldenSamples; s++ {
+			b.Run(interval)
+			raw, err := dev.ReadRegister(ina226.RegCurrent)
+			if err != nil {
+				t.Fatalf("%s: read current: %v", spec.Name, err)
+			}
+			mA := int(int16(raw))
+			lines = append(lines, fmt.Sprintf("%d %d %d", level, s, mA))
+		}
+	}
+	return lines
+}
+
+// TestGoldenCurrentTraces locks the simulated FPGA current response of
+// every Table I board against reference traces under testdata/golden.
+// Regenerate with: go test ./internal/board -run GoldenCurrentTraces -update
+func TestGoldenCurrentTraces(t *testing.T) {
+	for _, spec := range board.Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			lines := goldenTrace(t, spec)
+			content := fmt.Sprintf("# golden FPGA current trace: board %s seed %d\n# columns: level sample mA\n%s\n",
+				spec.Name, goldenSeed, strings.Join(lines, "\n"))
+			path := filepath.Join("testdata", "golden", spec.Name+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if string(want) != content {
+				t.Errorf("%s: current trace deviates from golden file %s\n--- got ---\n%s--- want ---\n%s",
+					spec.Name, path, content, want)
+			}
+		})
+	}
+}
+
+// TestGoldenTracesRespond sanity-checks the golden schedule itself: on
+// every board the recorded current must increase from the idle level to
+// full virus activation, so the goldens can never silently pin a dead
+// channel.
+func TestGoldenTracesRespond(t *testing.T) {
+	for _, spec := range board.Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			lines := goldenTrace(t, spec)
+			var idle, full int
+			var nIdle, nFull int
+			for _, ln := range lines {
+				var level, s, mA int
+				if _, err := fmt.Sscanf(ln, "%d %d %d", &level, &s, &mA); err != nil {
+					t.Fatal(err)
+				}
+				switch level {
+				case goldenLevels[0]:
+					idle += mA
+					nIdle++
+				case goldenLevels[len(goldenLevels)-1]:
+					full += mA
+					nFull++
+				}
+			}
+			if nIdle == 0 || nFull == 0 {
+				t.Fatal("schedule produced no samples")
+			}
+			if full/nFull <= idle/nIdle {
+				t.Errorf("full-activation current %d mA not above idle %d mA", full/nFull, idle/nIdle)
+			}
+		})
+	}
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/board"
 	"repro/internal/obs"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/sysfs"
 	"repro/internal/virus"
@@ -20,6 +22,11 @@ type ApplicabilityConfig struct {
 	Levels int
 	// SamplesPerLevel of hwmon updates averaged per level; zero means 10.
 	SamplesPerLevel int
+	// Parallelism is the worker count the per-board shards run on; zero
+	// means GOMAXPROCS. Each board simulates on its own engine with a
+	// seed derived from Seed and the board name, so the survey's rows
+	// are bit-identical for every worker count.
+	Parallelism int
 }
 
 // BoardApplicability is one board's outcome.
@@ -61,20 +68,31 @@ func Applicability(cfg ApplicabilityConfig) ([]BoardApplicability, error) {
 
 	catalog := board.Catalog()
 	obs.Eventf("applicability: %d boards starting", len(catalog))
-	var out []BoardApplicability
+	shards := make([]runner.Shard[BoardApplicability], len(catalog))
 	for i, spec := range catalog {
-		row, err := applicabilityOne(cfg, spec)
-		if err != nil {
-			return nil, err
+		spec := spec
+		shards[i] = runner.Shard[BoardApplicability]{
+			Key: "applicability/" + spec.Name,
+			Run: func(ctx context.Context, info runner.Info) (BoardApplicability, error) {
+				return applicabilityOne(ctx, cfg, spec)
+			},
 		}
-		out = append(out, row)
-		obs.Eventf("applicability: %d/%d boards done (%s: %d sensors, r=%.3f)",
-			i+1, len(catalog), row.Board, row.Sensors, row.CurrentPearson)
 	}
-	return out, nil
+	results, err := runner.Run(context.Background(), runner.Config{
+		Name:    "applicability",
+		Seed:    cfg.Seed,
+		Workers: cfg.Parallelism,
+	}, shards)
+	if err != nil {
+		return nil, err
+	}
+	if err := runner.FirstErr(results); err != nil {
+		return nil, err
+	}
+	return runner.Values(results), nil
 }
 
-func applicabilityOne(cfg ApplicabilityConfig, spec board.Spec) (BoardApplicability, error) {
+func applicabilityOne(ctx context.Context, cfg ApplicabilityConfig, spec board.Spec) (BoardApplicability, error) {
 	b, err := board.Wire(spec, board.Config{
 		Seed: captureSeed(cfg.Seed, "applicability/"+spec.Name, 0),
 	})
@@ -117,6 +135,9 @@ func applicabilityOne(cfg ApplicabilityConfig, spec board.Spec) (BoardApplicabil
 	current := make([]float64, 0, cfg.Levels)
 	inBand := true
 	for level := 0; level < cfg.Levels; level++ {
+		if err := ctx.Err(); err != nil {
+			return BoardApplicability{}, err
+		}
 		if err := array.SetActiveGroups(level); err != nil {
 			return BoardApplicability{}, err
 		}

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/board"
 	"repro/internal/ro"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/sysfs"
 	"repro/internal/virus"
@@ -31,6 +33,14 @@ type CharacterizeConfig struct {
 	// that shows why crafted-circuit attacks needed a fluctuating PDN:
 	// without the stabilizer the RO channel's variation explodes.
 	DisableStabilizer bool
+	// Parallelism switches the sweep to the sharded protocol: every
+	// activation level is measured on its own freshly wired board (seed
+	// derived from Seed and the level), and the per-level shards run on
+	// this many workers. The shard set is fixed by the campaign, not the
+	// worker count, so results are bit-identical for any Parallelism
+	// >= 1. Zero keeps the classic serial protocol, where one board
+	// carries the whole sweep.
+	Parallelism int
 }
 
 // LevelReading is the averaged observation at one activation level.
@@ -95,10 +105,76 @@ func Characterize(cfg CharacterizeConfig) (*CharacterizeResult, error) {
 	if cfg.WarmupUpdates == 0 {
 		cfg.WarmupUpdates = 3
 	}
+	if cfg.Parallelism < 0 {
+		return nil, errors.New("core: negative parallelism")
+	}
 
+	readings := make([]LevelReading, cfg.Levels)
+	if cfg.Parallelism == 0 {
+		// Classic protocol: one board carries the whole sweep, levels
+		// measured back to back.
+		rig, err := newCharacterizeRig(cfg, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for level := 0; level < cfg.Levels; level++ {
+			r, err := rig.measureLevel(level)
+			if err != nil {
+				return nil, err
+			}
+			readings[level] = r
+		}
+	} else {
+		// Sharded protocol: one shard per level, each on its own board
+		// seeded from the campaign seed and the level key, so the sweep
+		// parallelizes without any cross-level state.
+		shards := make([]runner.Shard[LevelReading], cfg.Levels)
+		for level := 0; level < cfg.Levels; level++ {
+			level := level
+			shards[level] = runner.Shard[LevelReading]{
+				Key: fmt.Sprintf("characterize/level/%d", level),
+				Run: func(ctx context.Context, info runner.Info) (LevelReading, error) {
+					rig, err := newCharacterizeRig(cfg, info.Seed)
+					if err != nil {
+						return LevelReading{}, err
+					}
+					return rig.measureLevel(level)
+				},
+			}
+		}
+		results, err := runner.Run(context.Background(), runner.Config{
+			Name:    "characterize",
+			Seed:    cfg.Seed,
+			Workers: cfg.Parallelism,
+		}, shards)
+		if err != nil {
+			return nil, err
+		}
+		if err := runner.FirstErr(results); err != nil {
+			return nil, err
+		}
+		readings = runner.Values(results)
+	}
+	return fitCharacterize(readings)
+}
+
+// characterizeRig is one wired measurement setup of the Fig. 2 sweep:
+// board, virus array, RO baseline, and unprivileged hwmon probes.
+type characterizeRig struct {
+	cfg      CharacterizeConfig
+	b        *board.ZCU102
+	array    *virus.Array
+	bank     *ro.Bank
+	probes   map[Kind]func() (float64, error)
+	interval time.Duration
+}
+
+// newCharacterizeRig wires a fresh board and deploys the victim and the
+// RO baseline on it.
+func newCharacterizeRig(cfg CharacterizeConfig, seed int64) (*characterizeRig, error) {
 	// --- Victim side: deploy the virus bitstream and the RO baseline. ---
 	b, err := board.NewZCU102(board.Config{
-		Seed:              cfg.Seed,
+		Seed:              seed,
 		DisableStabilizer: cfg.DisableStabilizer,
 	})
 	if err != nil {
@@ -151,59 +227,75 @@ func Characterize(cfg CharacterizeConfig) (*CharacterizeResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	interval := dev.UpdateInterval()
+	return &characterizeRig{
+		cfg:      cfg,
+		b:        b,
+		array:    array,
+		bank:     bank,
+		probes:   probes,
+		interval: dev.UpdateInterval(),
+	}, nil
+}
 
-	res := &CharacterizeResult{}
-	levels := make([]float64, 0, cfg.Levels)
-	cur := make([]float64, 0, cfg.Levels)
-	vol := make([]float64, 0, cfg.Levels)
-	pow := make([]float64, 0, cfg.Levels)
-	roc := make([]float64, 0, cfg.Levels)
+// measureLevel sets one activation level, lets the sensor windows flush
+// the previous state, and averages the configured number of hwmon
+// updates on every channel.
+func (rig *characterizeRig) measureLevel(level int) (LevelReading, error) {
+	if err := rig.array.SetActiveGroups(level); err != nil {
+		return LevelReading{}, err
+	}
+	// Let the sensor windows flush the previous level.
+	rig.b.Run(time.Duration(rig.cfg.WarmupUpdates) * rig.interval)
+	rig.bank.Sample() // discard counts accumulated during warmup
 
-	for level := 0; level < cfg.Levels; level++ {
-		if err := array.SetActiveGroups(level); err != nil {
-			return nil, err
+	var sumI, sumV, sumP, sumR float64
+	for s := 0; s < rig.cfg.SamplesPerLevel; s++ {
+		rig.b.Run(rig.interval)
+		i, err := rig.probes[Current]()
+		if err != nil {
+			return LevelReading{}, err
 		}
-		// Let the sensor windows flush the previous level.
-		b.Run(time.Duration(cfg.WarmupUpdates) * interval)
-		bank.Sample() // discard counts accumulated during warmup
+		v, err := rig.probes[Voltage]()
+		if err != nil {
+			return LevelReading{}, err
+		}
+		p, err := rig.probes[Power]()
+		if err != nil {
+			return LevelReading{}, err
+		}
+		sumI += i
+		sumV += v
+		sumP += p
+		sumR += rig.bank.SampleMean()
+	}
+	n := float64(rig.cfg.SamplesPerLevel)
+	return LevelReading{
+		ActiveGroups: level,
+		CurrentAmps:  sumI / n,
+		BusVolts:     sumV / n,
+		PowerWatts:   sumP / n,
+		ROCount:      sumR / n,
+	}, nil
+}
 
-		var sumI, sumV, sumP, sumR float64
-		for s := 0; s < cfg.SamplesPerLevel; s++ {
-			b.Run(interval)
-			i, err := probes[Current]()
-			if err != nil {
-				return nil, err
-			}
-			v, err := probes[Voltage]()
-			if err != nil {
-				return nil, err
-			}
-			p, err := probes[Power]()
-			if err != nil {
-				return nil, err
-			}
-			sumI += i
-			sumV += v
-			sumP += p
-			sumR += bank.SampleMean()
-		}
-		n := float64(cfg.SamplesPerLevel)
-		r := LevelReading{
-			ActiveGroups: level,
-			CurrentAmps:  sumI / n,
-			BusVolts:     sumV / n,
-			PowerWatts:   sumP / n,
-			ROCount:      sumR / n,
-		}
-		res.Readings = append(res.Readings, r)
-		levels = append(levels, float64(level))
+// fitCharacterize turns the per-level readings into the Fig. 2 channel
+// fits and variation ratio.
+func fitCharacterize(readings []LevelReading) (*CharacterizeResult, error) {
+	res := &CharacterizeResult{Readings: readings}
+	levels := make([]float64, 0, len(readings))
+	cur := make([]float64, 0, len(readings))
+	vol := make([]float64, 0, len(readings))
+	pow := make([]float64, 0, len(readings))
+	roc := make([]float64, 0, len(readings))
+	for _, r := range readings {
+		levels = append(levels, float64(r.ActiveGroups))
 		cur = append(cur, r.CurrentAmps)
 		vol = append(vol, r.BusVolts)
 		pow = append(pow, r.PowerWatts)
 		roc = append(roc, r.ROCount)
 	}
 
+	var err error
 	if res.Current, err = fitChannel(levels, cur, currentLSB); err != nil {
 		return nil, fmt.Errorf("core: current fit: %w", err)
 	}

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/board"
+	"repro/internal/runner"
 	"repro/internal/sysfs"
 	"repro/internal/virus"
 )
@@ -36,6 +38,17 @@ type CovertConfig struct {
 	// default 35 ms caps the unprivileged channel at ~28.6 bps; a root
 	// accomplice retuning to 2 ms raises the ceiling to 500 bps.
 	UpdateInterval time.Duration
+	// Parallelism switches to the multi-channel protocol: the payload is
+	// split into fixed ChunkBits-sized chunks, each transmitted over its
+	// own board (a deterministic per-chunk seed), and the chunk shards
+	// run on this many workers. The chunking depends only on PayloadBits
+	// and ChunkBits, never on the worker count, so the aggregate result
+	// is bit-identical for any Parallelism >= 1. Zero keeps the classic
+	// single-transmission protocol.
+	Parallelism int
+	// ChunkBits is the payload chunk size of the multi-channel protocol;
+	// zero means 32.
+	ChunkBits int
 }
 
 // CovertResult summarizes a transmission.
@@ -112,9 +125,66 @@ func CovertTransmit(cfg CovertConfig) (*CovertResult, error) {
 	if cfg.Groups < 1 || cfg.Groups > virus.DefaultGroups {
 		return nil, fmt.Errorf("core: groups %d outside [1,%d]", cfg.Groups, virus.DefaultGroups)
 	}
+	if cfg.Parallelism < 0 {
+		return nil, errors.New("core: negative parallelism")
+	}
+	if cfg.ChunkBits == 0 {
+		cfg.ChunkBits = 32
+	}
+	if cfg.ChunkBits < 1 {
+		return nil, errors.New("core: non-positive chunk size")
+	}
+	if cfg.Parallelism == 0 {
+		return covertOnce(cfg, cfg.Seed, cfg.PayloadBits)
+	}
 
+	// Multi-channel protocol: fixed-size payload chunks, one board per
+	// chunk, aggregated error counts. The chunk layout is a function of
+	// the config alone, so the result does not depend on worker count.
+	var chunks []int
+	for remaining := cfg.PayloadBits; remaining > 0; remaining -= cfg.ChunkBits {
+		n := cfg.ChunkBits
+		if n > remaining {
+			n = remaining
+		}
+		chunks = append(chunks, n)
+	}
+	shards := make([]runner.Shard[*CovertResult], len(chunks))
+	for i, bits := range chunks {
+		bits := bits
+		shards[i] = runner.Shard[*CovertResult]{
+			Key: fmt.Sprintf("covert/chunk/%d", i),
+			Run: func(ctx context.Context, info runner.Info) (*CovertResult, error) {
+				return covertOnce(cfg, info.Seed, bits)
+			},
+		}
+	}
+	results, err := runner.Run(context.Background(), runner.Config{
+		Name:    "covert",
+		Seed:    cfg.Seed,
+		Workers: cfg.Parallelism,
+	}, shards)
+	if err != nil {
+		return nil, err
+	}
+	if err := runner.FirstErr(results); err != nil {
+		return nil, err
+	}
+	agg := &CovertResult{}
+	for _, r := range runner.Values(results) {
+		agg.BitsSent += r.BitsSent
+		agg.BitErrors += r.BitErrors
+		agg.SymbolPeriod = r.SymbolPeriod
+		agg.Throughput = r.Throughput
+	}
+	return agg, nil
+}
+
+// covertOnce runs one end-to-end transmission of payloadBits bits on a
+// board seeded with seed.
+func covertOnce(cfg CovertConfig, seed int64, payloadBits int) (*CovertResult, error) {
 	b, err := board.NewZCU102(board.Config{
-		Seed:           cfg.Seed,
+		Seed:           seed,
 		UpdateInterval: cfg.UpdateInterval,
 	})
 	if err != nil {
@@ -135,8 +205,8 @@ func CovertTransmit(cfg CovertConfig) (*CovertResult, error) {
 	period := time.Duration(cfg.SymbolUpdates) * interval
 
 	// Build the frame: preamble + payload.
-	payloadRng := rand.New(rand.NewSource(captureSeed(cfg.Seed, "covert-payload", 0)))
-	payload := make([]int, cfg.PayloadBits)
+	payloadRng := rand.New(rand.NewSource(captureSeed(seed, "covert-payload", 0)))
+	payload := make([]int, payloadBits)
 	for i := range payload {
 		payload[i] = payloadRng.Intn(2)
 	}
@@ -171,7 +241,7 @@ func CovertTransmit(cfg CovertConfig) (*CovertResult, error) {
 		return nil, err
 	}
 	res := &CovertResult{
-		BitsSent:     cfg.PayloadBits,
+		BitsSent:     payloadBits,
 		SymbolPeriod: period,
 		Throughput:   1 / period.Seconds(),
 	}

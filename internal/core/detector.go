@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math"
 	"time"
 )
 
@@ -83,6 +84,14 @@ func NewDetector(cfg DetectorConfig, interval time.Duration) (*Detector, error) 
 // transition is detected at this sample.
 func (d *Detector) Push(amps float64) *Event {
 	defer func() { d.now += d.interval }()
+
+	// A corrupt sample (sensor glitch, parse failure upstream) must not
+	// poison the baseline mean or the CUSUM accumulators — one NaN would
+	// otherwise disable the detector permanently. Drop it; time still
+	// advances so event timestamps stay aligned with the stream.
+	if math.IsNaN(amps) || math.IsInf(amps, 0) {
+		return nil
+	}
 
 	if d.n < d.cfg.BaselineSamples {
 		d.baseline += amps

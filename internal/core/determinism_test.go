@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/board"
+)
+
+// The runner's contract is that shard decomposition and per-shard seeds
+// are functions of the campaign config alone, so every experiment that
+// routes through it must produce byte-identical results no matter how
+// many workers execute the shards or in what order they finish. These
+// regression tests pin that property across -parallel 1, 4, and 16 for
+// each sharded experiment.
+
+// workerCounts exercises fewer workers than shards, more workers than
+// shards, and the serial degenerate case.
+var workerCounts = []int{1, 4, 16}
+
+// mustJSON canonicalizes a result for byte-level comparison.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+func TestApplicabilityDeterministicAcrossWorkers(t *testing.T) {
+	var want []byte
+	for _, workers := range workerCounts {
+		rows, err := Applicability(ApplicabilityConfig{
+			Seed:            7,
+			Levels:          3,
+			SamplesPerLevel: 2,
+			Parallelism:     workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := mustJSON(t, rows)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: applicability rows differ from workers=%d baseline", workers, workerCounts[0])
+		}
+	}
+}
+
+func TestCharacterizeDeterministicAcrossWorkers(t *testing.T) {
+	var want []byte
+	for _, workers := range workerCounts {
+		res, err := Characterize(CharacterizeConfig{
+			Seed:            7,
+			Levels:          5,
+			SamplesPerLevel: 3,
+			Parallelism:     workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := mustJSON(t, res)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: characterize result differs from workers=%d baseline", workers, workerCounts[0])
+		}
+	}
+}
+
+func TestCovertDeterministicAcrossWorkers(t *testing.T) {
+	var want []byte
+	for _, workers := range workerCounts {
+		res, err := CovertTransmit(CovertConfig{
+			Seed:          7,
+			PayloadBits:   24,
+			SymbolUpdates: 1,
+			ChunkBits:     8,
+			Parallelism:   workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := mustJSON(t, res)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: covert result differs from workers=%d baseline", workers, workerCounts[0])
+		}
+	}
+}
+
+func TestFingerprintDeterministicAcrossWorkers(t *testing.T) {
+	cfg := FingerprintConfig{
+		Seed:           7,
+		Models:         []string{"MobileNet-V1", "VGG-19"},
+		TracesPerModel: 2,
+		TraceDuration:  500 * time.Millisecond,
+		Durations:      []time.Duration{500 * time.Millisecond},
+		Folds:          2,
+		Trees:          10,
+		Channels:       []Channel{{Label: board.SensorFPGA, Kind: Current}},
+	}
+	var wantCaps, wantRes []byte
+	for _, workers := range workerCounts {
+		cfg.Parallelism = workers
+		caps, err := CollectDPUTraces(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: collect: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := SaveCaptures(&buf, caps); err != nil {
+			t.Fatalf("workers=%d: save: %v", workers, err)
+		}
+		res, err := EvaluateCaptures(cfg, caps)
+		if err != nil {
+			t.Fatalf("workers=%d: evaluate: %v", workers, err)
+		}
+		gotRes := mustJSON(t, res.Cells)
+		if wantCaps == nil {
+			wantCaps, wantRes = buf.Bytes(), gotRes
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), wantCaps) {
+			t.Errorf("workers=%d: captures differ from workers=%d baseline", workers, workerCounts[0])
+		}
+		if !bytes.Equal(gotRes, wantRes) {
+			t.Errorf("workers=%d: accuracy cells differ from workers=%d baseline", workers, workerCounts[0])
+		}
+	}
+}
+
+// TestCharacterizeShardedVsChunkSizeInvariant pins that the covert
+// chunked protocol's aggregate depends on the chunk layout but not the
+// worker schedule: same config, different worker counts, same BER.
+func TestCovertChunkLayoutIndependentOfWorkers(t *testing.T) {
+	base, err := CovertTransmit(CovertConfig{Seed: 3, PayloadBits: 20, SymbolUpdates: 1, ChunkBits: 6, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := CovertTransmit(CovertConfig{Seed: 3, PayloadBits: 20, SymbolUpdates: 1, ChunkBits: 6, Parallelism: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.BitsSent != again.BitsSent || base.BitErrors != again.BitErrors {
+		t.Errorf("chunked covert result changed with workers: %+v vs %+v", base, again)
+	}
+	if base.BitsSent != 20 {
+		t.Errorf("BitsSent = %d, want 20", base.BitsSent)
+	}
+}

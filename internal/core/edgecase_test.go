@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/trace"
+)
+
+// Degenerate traces reach the analysis code whenever a capture is cut
+// short or a sensor misbehaves; none of them may crash or return a
+// confident estimate.
+
+func edgeCapture(samples []float64) *Capture {
+	ch := Channel{Label: board.SensorFPGA, Kind: Current}
+	return &Capture{
+		Model: "edge",
+		Traces: map[Channel]*trace.Trace{
+			ch: {Interval: 35 * time.Millisecond, Samples: samples},
+		},
+	}
+}
+
+func periodicSamples(n, period int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Sin(2 * math.Pi * float64(i) / float64(period))
+	}
+	return out
+}
+
+func constantSamples(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestEstimateInferencePeriodEdgeCases(t *testing.T) {
+	ch := Channel{Label: board.SensorFPGA, Kind: Current}
+	nanTrace := periodicSamples(64, 8)
+	nanTrace[10] = math.NaN()
+	infTrace := periodicSamples(64, 8)
+	infTrace[20] = math.Inf(1)
+
+	tests := []struct {
+		name    string
+		capt    *Capture
+		wantOK  bool
+		wantErr bool
+	}{
+		{name: "nil capture", capt: nil, wantErr: true},
+		{name: "missing channel", capt: &Capture{Traces: map[Channel]*trace.Trace{}}, wantErr: true},
+		{name: "empty trace", capt: edgeCapture(nil), wantErr: true},
+		{name: "single sample", capt: edgeCapture([]float64{1.5}), wantErr: true},
+		{name: "below minimum length", capt: edgeCapture(constantSamples(15, 1)), wantErr: true},
+		{name: "constant trace", capt: edgeCapture(constantSamples(64, 2.5)), wantOK: false},
+		{name: "all zero", capt: edgeCapture(constantSamples(64, 0)), wantOK: false},
+		{name: "NaN sample", capt: edgeCapture(nanTrace), wantOK: false},
+		{name: "Inf sample", capt: edgeCapture(infTrace), wantOK: false},
+		{name: "clean periodic", capt: edgeCapture(periodicSamples(64, 8)), wantOK: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			period, ok, err := EstimateInferencePeriod(tt.capt, ch)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("want error, got period=%v ok=%v", period, ok)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if ok != tt.wantOK {
+				t.Fatalf("ok = %v, want %v (period %v)", ok, tt.wantOK, period)
+			}
+			if ok {
+				if period <= 0 || math.IsInf(float64(period), 0) {
+					t.Fatalf("confident estimate with degenerate period %v", period)
+				}
+			} else if period != 0 {
+				t.Fatalf("not-ok estimate leaked period %v", period)
+			}
+		})
+	}
+}
+
+func TestDominantPeriodNeverDividesByZeroBin(t *testing.T) {
+	// A trace with a NaN zeroes out every Goertzel magnitude; before the
+	// guard this returned period=+Inf with ok=true.
+	tr := &trace.Trace{Interval: time.Millisecond, Samples: periodicSamples(64, 8)}
+	tr.Samples[0] = math.NaN()
+	period, ok, err := tr.DominantPeriod(16, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || period != 0 {
+		t.Fatalf("NaN trace produced period=%v ok=%v, want 0,false", period, ok)
+	}
+}
+
+func TestDetectorEdgeCases(t *testing.T) {
+	const interval = 35 * time.Millisecond
+
+	tests := []struct {
+		name       string
+		samples    []float64
+		wantEvents []EventKind
+		wantRef    float64 // reference after the stream; NaN = don't check
+	}{
+		{
+			name:       "empty stream",
+			samples:    nil,
+			wantEvents: nil,
+			wantRef:    0,
+		},
+		{
+			name:       "constant stream",
+			samples:    constantSamples(64, 1.0),
+			wantEvents: nil,
+			wantRef:    1.0,
+		},
+		{
+			name:       "single sample",
+			samples:    []float64{2.0},
+			wantEvents: nil,
+			wantRef:    0, // baseline not yet established
+		},
+		{
+			name: "clean rise and fall",
+			samples: append(append(constantSamples(16, 1.0),
+				constantSamples(16, 2.0)...), constantSamples(16, 1.0)...),
+			wantEvents: []EventKind{Rise, Fall},
+			wantRef:    1.0,
+		},
+		{
+			name: "NaN during baseline does not poison the reference",
+			samples: append([]float64{math.NaN(), math.NaN()},
+				append(constantSamples(16, 1.0), constantSamples(16, 2.0)...)...),
+			wantEvents: []EventKind{Rise},
+			wantRef:    2.0,
+		},
+		{
+			name: "NaN mid-stream does not poison the accumulators",
+			samples: append(append(constantSamples(16, 1.0), math.NaN()),
+				constantSamples(16, 2.0)...),
+			wantEvents: []EventKind{Rise},
+			wantRef:    2.0,
+		},
+		{
+			name: "Inf sample is dropped",
+			samples: append(append(constantSamples(16, 1.0), math.Inf(1), math.Inf(-1)),
+				constantSamples(16, 2.0)...),
+			wantEvents: []EventKind{Rise},
+			wantRef:    2.0,
+		},
+		{
+			name:       "all NaN stream stays silent",
+			samples:    []float64{math.NaN(), math.NaN(), math.NaN(), math.NaN()},
+			wantEvents: nil,
+			wantRef:    0,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			det, err := NewDetector(DetectorConfig{}, interval)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range tt.samples {
+				det.Push(s)
+			}
+			events := det.Events()
+			if len(events) != len(tt.wantEvents) {
+				t.Fatalf("got %d events %v, want kinds %v", len(events), events, tt.wantEvents)
+			}
+			for i, ev := range events {
+				if ev.Kind != tt.wantEvents[i] {
+					t.Errorf("event %d kind = %v, want %v", i, ev.Kind, tt.wantEvents[i])
+				}
+				if math.IsNaN(ev.Level) || math.IsInf(ev.Level, 0) {
+					t.Errorf("event %d has non-finite level %v", i, ev.Level)
+				}
+			}
+			if ref := det.Reference(); math.IsNaN(ref) || math.IsInf(ref, 0) {
+				t.Fatalf("reference became non-finite: %v", ref)
+			} else if !math.IsNaN(tt.wantRef) && ref != tt.wantRef {
+				t.Fatalf("reference = %v, want %v", ref, tt.wantRef)
+			}
+		})
+	}
+}
+
+func TestDetectorThresholdBoundary(t *testing.T) {
+	// Accumulated deviation must exceed ThresholdAmps strictly; a step
+	// exactly at the drift never fires and a step just above it does.
+	det, err := NewDetector(DetectorConfig{DriftAmps: 0.02, ThresholdAmps: 0.1, BaselineSamples: 4}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		det.Push(1.0)
+	}
+	// Deviation exactly at the drift: accumulator stays at zero forever.
+	for i := 0; i < 100; i++ {
+		if ev := det.Push(1.02); ev != nil {
+			t.Fatalf("step at the drift slack fired after %d samples", i)
+		}
+	}
+	// A 60 mA step accumulates 40 mA per sample past the drift: samples
+	// one and two stay at 40/80 mA under the 100 mA threshold, the third
+	// crosses it.
+	for i := 0; i < 2; i++ {
+		if ev := det.Push(1.06); ev != nil {
+			t.Fatalf("fired on sample %d, before the accumulator crossed the threshold", i+1)
+		}
+	}
+	ev := det.Push(1.06)
+	if ev == nil || ev.Kind != Rise {
+		t.Fatalf("expected a rise on the third sample, got %+v", ev)
+	}
+}

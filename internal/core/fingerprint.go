@@ -1,13 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/board"
@@ -17,6 +15,7 @@ import (
 	"repro/internal/ml/features"
 	"repro/internal/ml/rforest"
 	"repro/internal/obs"
+	"repro/internal/runner"
 	"repro/internal/sysfs"
 	"repro/internal/trace"
 )
@@ -154,65 +153,54 @@ func CollectDPUTraces(cfg FingerprintConfig) ([]*Capture, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	type job struct {
-		model string
-		rep   int
-	}
-	jobs := make([]job, 0, len(cfg.Models)*cfg.TracesPerModel)
+	shards := make([]runner.Shard[*Capture], 0, len(cfg.Models)*cfg.TracesPerModel)
 	for _, m := range cfg.Models {
 		if _, err := dpu.ZooModel(m); err != nil {
 			return nil, err
 		}
 		for r := 0; r < cfg.TracesPerModel; r++ {
-			jobs = append(jobs, job{model: m, rep: r})
+			m, r := m, r
+			shards = append(shards, runner.Shard[*Capture]{
+				// The key matches captureSeed's "model/rep" derivation, so
+				// the shard seed the runner hands back is exactly the seed
+				// the serial collection loop has always used.
+				Key: fmt.Sprintf("%s/%d", m, r),
+				Run: func(ctx context.Context, info runner.Info) (*Capture, error) {
+					return captureOne(ctx, cfg, m, r, info.Seed)
+				},
+			})
 		}
 	}
-
-	captures := make([]*Capture, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	var done atomic.Int64
 	obs.Eventf("collect: %d captures (%d models x %d reps) starting",
-		len(jobs), len(cfg.Models), cfg.TracesPerModel)
-	sem := make(chan struct{}, cfg.Parallelism)
-	for ji, j := range jobs {
-		wg.Add(1)
-		go func(ji int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			captures[ji], errs[ji] = captureOne(cfg, j.model, j.rep)
-			n := done.Add(1)
-			obs.G("core.collect_progress").Set(float64(n) / float64(len(jobs)))
-			// One event per model's worth of captures keeps the bounded
-			// event ring covering the whole run.
-			if n%int64(cfg.TracesPerModel) == 0 || int(n) == len(jobs) {
-				obs.Eventf("collect: %d/%d captures done (last %s/%d)",
-					n, len(jobs), j.model, j.rep)
-			}
-		}(ji, j)
+		len(shards), len(cfg.Models), cfg.TracesPerModel)
+	results, err := runner.Run(context.Background(), runner.Config{
+		Name:    "collect",
+		Seed:    cfg.Seed,
+		Workers: cfg.Parallelism,
+	}, shards)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := runner.FirstErr(results); err != nil {
+		return nil, err
 	}
-	return captures, nil
+	return runner.Values(results), nil
 }
 
 // captureSeed derives a deterministic per-capture seed from the
-// experiment seed, the model name, and the repetition.
+// experiment seed, the model name, and the repetition. It is the
+// runner's shard-seed derivation over the "model/rep" key, so seeds are
+// identical whether a capture runs serially or as a campaign shard.
 func captureSeed(root int64, model string, rep int) int64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s/%d", model, rep)
-	return root ^ int64(h.Sum64())
+	return runner.ShardSeed(root, fmt.Sprintf("%s/%d", model, rep))
 }
 
-// captureOne runs one victim inference session and records every channel.
-func captureOne(cfg FingerprintConfig, modelName string, rep int) (*Capture, error) {
+// captureOne runs one victim inference session and records every
+// channel. seed is the capture's shard seed (captureSeed of model/rep);
+// ctx is polled between the warmup and capture stretches.
+func captureOne(ctx context.Context, cfg FingerprintConfig, modelName string, rep int, seed int64) (*Capture, error) {
 	b, err := board.NewZCU102(board.Config{
-		Seed:           captureSeed(cfg.Seed, modelName, rep),
+		Seed:           seed,
 		UpdateInterval: cfg.UpdateInterval,
 	})
 	if err != nil {
@@ -263,6 +251,9 @@ func captureOne(cfg FingerprintConfig, modelName string, rep int) (*Capture, err
 	}
 
 	b.Run(cfg.Warmup)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for ch, rec := range recorders {
 		rec.Reset()
 		if err := b.Engine().Register(fmt.Sprintf("recorder/%s", ch), rec); err != nil {
@@ -354,32 +345,31 @@ func EvaluateCaptures(cfg FingerprintConfig, captures []*Capture) (*FingerprintR
 			cells = append(cells, cell{ch, d})
 		}
 	}
-	out := make([]AccuracyCell, len(cells))
-	errs := make([]error, len(cells))
-	var wg sync.WaitGroup
-	var done atomic.Int64
 	obs.Eventf("evaluate: %d (channel,duration) cells starting", len(cells))
-	sem := make(chan struct{}, cfg.Parallelism)
+	shards := make([]runner.Shard[AccuracyCell], len(cells))
 	for i, c := range cells {
-		wg.Add(1)
-		go func(i int, c cell) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = evaluateCell(cfg, captures, c.ch, c.d)
-			n := done.Add(1)
-			if errs[i] == nil && (n%10 == 0 || int(n) == len(cells)) {
-				obs.Eventf("evaluate: %d/%d cells done (last %v @ %v: top1=%.3f)",
-					n, len(cells), c.ch, c.d, out[i].Top1)
-			}
-		}(i, c)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		c := c
+		shards[i] = runner.Shard[AccuracyCell]{
+			// evaluateCell re-derives this same key's seed internally via
+			// captureSeed, so cell outcomes are independent of scheduling.
+			Key: fmt.Sprintf("eval/%v/%v", c.ch, c.d),
+			Run: func(ctx context.Context, info runner.Info) (AccuracyCell, error) {
+				return evaluateCell(cfg, captures, c.ch, c.d)
+			},
 		}
 	}
+	results, err := runner.Run(context.Background(), runner.Config{
+		Name:    "evaluate",
+		Seed:    cfg.Seed,
+		Workers: cfg.Parallelism,
+	}, shards)
+	if err != nil {
+		return nil, err
+	}
+	if err := runner.FirstErr(results); err != nil {
+		return nil, err
+	}
+	out := runner.Values(results)
 	classes := map[string]bool{}
 	for _, c := range captures {
 		classes[c.Model] = true

@@ -1,0 +1,149 @@
+package ina226
+
+import (
+	"testing"
+	"time"
+)
+
+// fuzzDevice wires a minimal valid device for register fuzzing.
+func fuzzDevice(t interface{ Fatal(args ...any) }) *Device {
+	d, err := New(Config{Label: "fuzz", ShuntOhms: 0.002, CurrentLSB: 1e-3, Probe: fixedProbe(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// FuzzRegisterRoundTrip drives arbitrary register writes followed by
+// reads and checks the datasheet invariants hold for every input: reads
+// never panic, writable registers round-trip (modulo documented masking),
+// read-only and unknown registers reject writes, and the derived update
+// interval stays inside the hwmon driver's window.
+func FuzzRegisterRoundTrip(f *testing.F) {
+	f.Add(uint8(RegConfig), uint16(cfgDefault))
+	f.Add(uint8(RegConfig), uint16(1<<cfgResetBit))
+	f.Add(uint8(RegCalibration), uint16(0))
+	f.Add(uint8(RegCalibration), uint16(2560))
+	f.Add(uint8(RegMaskEnable), AlertShuntOver|AlertFunctionFlag)
+	f.Add(uint8(RegAlertLimit), uint16(0xFFFF))
+	f.Add(uint8(RegCurrent), uint16(42))
+	f.Add(uint8(0xAB), uint16(7))
+	f.Fuzz(func(t *testing.T, regByte uint8, value uint16) {
+		d := fuzzDevice(t)
+		reg := Register(regByte)
+		err := d.WriteRegister(reg, value)
+		switch reg {
+		case RegConfig:
+			if err != nil {
+				t.Fatalf("config write rejected: %v", err)
+			}
+			got, rerr := d.ReadRegister(reg)
+			if rerr != nil {
+				t.Fatalf("config read: %v", rerr)
+			}
+			if value&(1<<cfgResetBit) != 0 {
+				// Reset restores the power-on value; the RST bit self-clears.
+				if got != cfgDefault {
+					t.Fatalf("after reset config = %#04x, want %#04x", got, cfgDefault)
+				}
+			} else if got != value {
+				t.Fatalf("config round-trip = %#04x, want %#04x", got, value)
+			}
+		case RegCalibration:
+			if value == 0 {
+				if err == nil {
+					t.Fatal("zero calibration accepted")
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("calibration write rejected: %v", err)
+				}
+				got, rerr := d.ReadRegister(reg)
+				if rerr != nil || got != value {
+					t.Fatalf("calibration round-trip = %#04x (%v), want %#04x", got, rerr, value)
+				}
+			}
+		case RegMaskEnable:
+			if err != nil {
+				t.Fatalf("mask/enable write rejected: %v", err)
+			}
+			got, rerr := d.ReadRegister(reg)
+			if rerr != nil {
+				t.Fatalf("mask/enable read: %v", rerr)
+			}
+			if want := value &^ AlertFunctionFlag; got != want {
+				t.Fatalf("mask/enable round-trip = %#04x, want %#04x (AFF is read-only)", got, want)
+			}
+		case RegAlertLimit:
+			if err != nil {
+				t.Fatalf("alert-limit write rejected: %v", err)
+			}
+			got, rerr := d.ReadRegister(reg)
+			if rerr != nil || got != value {
+				t.Fatalf("alert-limit round-trip = %#04x (%v), want %#04x", got, rerr, value)
+			}
+		case RegShuntVoltage, RegBusVoltage, RegPower, RegCurrent,
+			RegManufacturerID, RegDieID:
+			if err == nil {
+				t.Fatalf("write accepted on read-only register %#02x", regByte)
+			}
+		default:
+			if err == nil {
+				t.Fatalf("write accepted on unknown register %#02x", regByte)
+			}
+			if _, rerr := d.ReadRegister(reg); rerr == nil {
+				t.Fatalf("read succeeded on unknown register %#02x", regByte)
+			}
+		}
+		// Whatever the write did, the device must stay inside the hwmon
+		// driver's interval window with a valid averaging count.
+		if iv := d.UpdateInterval(); iv < MinUpdateInterval || iv > MaxUpdateInterval {
+			t.Fatalf("update interval %v escaped [%v,%v]", iv, MinUpdateInterval, MaxUpdateInterval)
+		}
+		if avg := d.Averages(); avg < 1 || avg > 1024 {
+			t.Fatalf("averaging count %d out of range", avg)
+		}
+	})
+}
+
+// FuzzSetUpdateInterval checks the hwmon-style interval setter clamps or
+// rejects every requested duration without corrupting the config
+// register encoding.
+func FuzzSetUpdateInterval(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(MinUpdateInterval))
+	f.Add(int64(MaxUpdateInterval))
+	f.Add(int64(-time.Millisecond))
+	f.Add(int64(time.Hour))
+	f.Add(int64(17 * time.Millisecond))
+	f.Fuzz(func(t *testing.T, ns int64) {
+		d := fuzzDevice(t)
+		err := d.SetUpdateInterval(time.Duration(ns))
+		iv := d.UpdateInterval()
+		if iv < MinUpdateInterval || iv > MaxUpdateInterval {
+			t.Fatalf("SetUpdateInterval(%v) err=%v left interval %v outside [%v,%v]",
+				time.Duration(ns), err, iv, MinUpdateInterval, MaxUpdateInterval)
+		}
+		// Re-writing the config register the device reports re-derives the
+		// interval from the AVG encoding (quantized, so it may move once),
+		// but the encoding must be a fixed point: a second round-trip may
+		// not move it again, and it must stay in the window.
+		roundTrip := func() time.Duration {
+			cfgReg, rerr := d.ReadRegister(RegConfig)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if werr := d.WriteRegister(RegConfig, cfgReg); werr != nil {
+				t.Fatal(werr)
+			}
+			return d.UpdateInterval()
+		}
+		quantized := roundTrip()
+		if quantized < MinUpdateInterval || quantized > MaxUpdateInterval {
+			t.Fatalf("quantized interval %v escaped the window", quantized)
+		}
+		if again := roundTrip(); again != quantized {
+			t.Fatalf("config encoding not a fixed point: %v -> %v", quantized, again)
+		}
+	})
+}

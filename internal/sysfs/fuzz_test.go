@@ -1,0 +1,180 @@
+package sysfs
+
+import (
+	"io/fs"
+	"path"
+	"strings"
+	"testing"
+)
+
+// fuzzTree builds a small tree shaped like the hwmon layout the
+// discovery code walks, with one attribute of each permission class.
+func fuzzTree(t interface{ Fatal(args ...any) }) *FS {
+	f := New()
+	show := func() (string, error) { return "42\n", nil }
+	store := func(string) error { return nil }
+	attrs := map[string]Attr{
+		"class/hwmon/hwmon0/curr1_input":     {Mode: ModeRO, Show: show},
+		"class/hwmon/hwmon0/name":            {Mode: ModeRO, Show: show},
+		"class/hwmon/hwmon0/update_interval": {Mode: ModeRW, Show: show, Store: store},
+		"class/hwmon/hwmon0/device/secret":   {Mode: ModeRootOnly, Show: show},
+	}
+	for p, a := range attrs {
+		if err := f.AddAttr(p, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// FuzzPathResolution feeds arbitrary path strings through every
+// path-taking entry point and checks the tree's safety invariants: no
+// panics, no path ever escapes the root, Exists agrees with ReadFile /
+// ReadDir, and the io/fs view never serves content an unprivileged
+// ReadFile would deny.
+func FuzzPathResolution(f *testing.F) {
+	f.Add("class/hwmon/hwmon0/curr1_input")
+	f.Add("/class/hwmon/hwmon0/curr1_input")
+	f.Add("class/hwmon/hwmon0/../hwmon0/name")
+	f.Add("../../../etc/passwd")
+	f.Add("class//hwmon///hwmon0")
+	f.Add(".")
+	f.Add("")
+	f.Add("class/hwmon/hwmon0/curr1_input/nested")
+	f.Add("class/hwmon/hwmon0/device/secret")
+	f.Add(strings.Repeat("a/", 100))
+	f.Fuzz(func(t *testing.T, p string) {
+		fsys := fuzzTree(t)
+
+		content, readErr := fsys.ReadFile(Nobody, p)
+		exists := fsys.Exists(p)
+		if readErr == nil && !exists {
+			t.Fatalf("ReadFile(%q) succeeded but Exists is false", p)
+		}
+		if readErr == nil && content != "42\n" {
+			t.Fatalf("ReadFile(%q) = %q, want the attribute content", p, content)
+		}
+		// Escaping paths must never resolve anywhere.
+		if escapesRoot(p) && exists {
+			t.Fatalf("path %q escapes the root but resolves", p)
+		}
+
+		names, dirErr := fsys.ReadDir(p)
+		if dirErr == nil {
+			if !exists {
+				t.Fatalf("ReadDir(%q) succeeded but Exists is false", p)
+			}
+			if readErr == nil {
+				t.Fatalf("path %q reads as both a file and a directory", p)
+			}
+			for _, name := range names {
+				if name == "" || strings.ContainsAny(name, "/") {
+					t.Fatalf("ReadDir(%q) returned malformed entry %q", p, name)
+				}
+			}
+		}
+
+		// The root-only attribute must stay invisible to the attacker
+		// through both APIs; root must still read it.
+		if readErr == nil && strings.Contains(p, "secret") {
+			t.Fatalf("unprivileged read of root-only attribute via %q", p)
+		}
+		view := fsys.As(Nobody)
+		if fs.ValidPath(p) {
+			data, verr := fs.ReadFile(view.(fs.ReadFileFS), p)
+			if (verr == nil) != (readErr == nil) {
+				t.Fatalf("view/ReadFile disagree for %q: view err %v, direct err %v", p, verr, readErr)
+			}
+			if verr == nil && string(data) != content {
+				t.Fatalf("view content %q != direct content %q", data, content)
+			}
+		}
+
+		// Writes through arbitrary paths must be denied for the attacker
+		// everywhere: either the path is invalid or permission is denied,
+		// never a successful store.
+		if err := fsys.WriteFile(Nobody, p, "1"); err == nil {
+			t.Fatalf("unprivileged write of %q succeeded", p)
+		}
+	})
+}
+
+// escapesRoot reports whether the path climbs above the tree root after
+// normalization: its cleaned form starts with a literal ".." component.
+func escapesRoot(p string) bool {
+	clean := path.Clean(strings.TrimLeft(p, "/"))
+	return clean == ".." || strings.HasPrefix(clean, "../")
+}
+
+// FuzzAddAttrResolve checks registration/lookup consistency: when a
+// fuzzed path is accepted by AddAttr, the attribute must be readable at
+// that same path as root, and directory listing of its parent must show
+// it exactly once.
+func FuzzAddAttrResolve(f *testing.F) {
+	f.Add("devices/platform/sensor/in0_input")
+	f.Add("a")
+	f.Add("/leading/slash/attr")
+	f.Add("trailing/slash/")
+	f.Add("dot/./segment")
+	f.Add("dotdot/../escape")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, p string) {
+		fsys := New()
+		err := fsys.AddAttr(p, Attr{Mode: ModeRO, Show: func() (string, error) { return "v", nil }})
+		if err != nil {
+			return
+		}
+		got, rerr := fsys.ReadFile(Root, p)
+		if rerr != nil {
+			t.Fatalf("AddAttr(%q) accepted but ReadFile failed: %v", p, rerr)
+		}
+		if got != "v" {
+			t.Fatalf("ReadFile(%q) = %q, want %q", p, got, "v")
+		}
+		// Re-registering the same path must now fail with ErrExist-like
+		// behaviour rather than silently replacing the attribute.
+		if err := fsys.AddAttr(p, Attr{Mode: ModeRO, Show: func() (string, error) { return "other", nil }}); err == nil {
+			t.Fatalf("duplicate AddAttr(%q) accepted", p)
+		}
+		if got, _ := fsys.ReadFile(Root, p); got != "v" {
+			t.Fatalf("duplicate AddAttr(%q) clobbered the attribute: %q", p, got)
+		}
+	})
+}
+
+// FuzzWriteFileValue pushes arbitrary values through a root write to a
+// writable attribute and checks the store callback sees exactly the
+// value, with no interpretation by the tree.
+func FuzzWriteFileValue(f *testing.F) {
+	f.Add("2000")
+	f.Add("")
+	f.Add("  35000\n")
+	f.Add("\x00\xff binary")
+	f.Fuzz(func(t *testing.T, value string) {
+		fsys := New()
+		var stored []string
+		err := fsys.AddAttr("hwmon/hwmon0/update_interval", Attr{
+			Mode: ModeRW,
+			Show: func() (string, error) { return "35000\n", nil },
+			Store: func(v string) error {
+				stored = append(stored, v)
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fsys.WriteFile(Root, "hwmon/hwmon0/update_interval", value); err != nil {
+			t.Fatalf("root write rejected: %v", err)
+		}
+		if len(stored) != 1 || stored[0] != value {
+			t.Fatalf("store saw %q, want exactly [%q]", stored, value)
+		}
+		if err := fsys.WriteFile(Nobody, "hwmon/hwmon0/update_interval", value); err == nil {
+			t.Fatal("unprivileged write accepted")
+		}
+		if len(stored) != 1 {
+			t.Fatal("denied write still reached the store callback")
+		}
+	})
+}

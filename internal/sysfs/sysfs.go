@@ -117,11 +117,16 @@ func (f *FS) countRead(p string, n int) {
 }
 
 func splitPath(p string) ([]string, error) {
-	clean := path.Clean(strings.TrimPrefix(p, "/"))
+	// Strip every leading slash: TrimPrefix alone would leave "//x" as
+	// "/x", which path.Clean keeps absolute and the component walk below
+	// would then see an empty first element.
+	clean := path.Clean(strings.TrimLeft(p, "/"))
 	if clean == "." || clean == "" {
 		return nil, nil
 	}
-	if strings.HasPrefix(clean, "..") {
+	// Reject only a leading ".." component; names that merely start with
+	// two dots (e.g. "..data") are valid.
+	if clean == ".." || strings.HasPrefix(clean, "../") {
 		return nil, fmt.Errorf("sysfs: path escapes root: %q", p)
 	}
 	return strings.Split(clean, "/"), nil
@@ -175,9 +180,14 @@ func (f *FS) AddAttr(p string, a Attr) error {
 	if a.Mode&0o222 != 0 && a.Store == nil {
 		return fmt.Errorf("sysfs: %s: writable mode without Store callback", p)
 	}
-	dir, name := path.Split(strings.TrimPrefix(p, "/"))
+	dir, name := path.Split(strings.TrimLeft(p, "/"))
 	if name == "" {
 		return fmt.Errorf("sysfs: %s: empty file name", p)
+	}
+	if name == "." || name == ".." {
+		// Would register fine but never resolve back: path cleaning folds
+		// the segment away before lookup.
+		return fmt.Errorf("sysfs: %s: invalid file name %q", p, name)
 	}
 	if err := f.MkdirAll(dir); err != nil {
 		return err

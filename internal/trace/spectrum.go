@@ -62,7 +62,12 @@ func (t *Trace) DominantPeriod(maxBins int, floorRatio float64) (periodSamples f
 		}
 	}
 	mean := sum / float64(len(mags))
-	if mean == 0 || bestMag < floorRatio*mean {
+	// best == 0 means every magnitude was zero or NaN (a constant or
+	// corrupt trace); non-finite magnitudes would also defeat the floor
+	// comparison below. Both cases are "no periodic structure", never a
+	// division by bin zero.
+	if best == 0 || mean == 0 || math.IsNaN(mean) || math.IsInf(mean, 0) ||
+		math.IsInf(bestMag, 0) || bestMag < floorRatio*mean {
 		return 0, false, nil
 	}
 	return float64(len(t.Samples)) / float64(best), true, nil
