@@ -32,6 +32,7 @@ import (
 	"repro/internal/board"
 	"repro/internal/core"
 	"repro/internal/dpu"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/sysfs"
 )
@@ -228,6 +229,37 @@ type BoardApplicability = core.BoardApplicability
 // every Table I board, backing the paper's applicability claim.
 func Applicability(cfg ApplicabilityConfig) ([]BoardApplicability, error) {
 	return core.Applicability(cfg)
+}
+
+// FaultProfile is a composable fault-injection profile for the
+// simulated sensor stack (sysfs read errors, stale INA226 latches,
+// register bit-flips, scheduler jitter/dropouts, hwmon renumbering,
+// regulator transients). Pass one via the Faults field of the
+// experiment configs, or scale a preset with Profile.Scale.
+type FaultProfile = faults.Profile
+
+// FaultPreset returns a built-in fault profile by name; see
+// FaultPresetNames for the catalogue.
+func FaultPreset(name string) (FaultProfile, error) { return faults.Preset(name) }
+
+// FaultPresetNames lists the built-in fault profiles
+// (none|flaky-sysfs|stale-sensor|noisy-sched|hostile).
+func FaultPresetNames() []string { return faults.PresetNames() }
+
+// RobustnessConfig parameterizes the accuracy-vs-fault-rate sweep.
+type RobustnessConfig = core.RobustnessConfig
+
+// RobustnessPoint is one intensity's outcome in the sweep.
+type RobustnessPoint = core.RobustnessPoint
+
+// RobustnessResult is the full accuracy-vs-fault-rate curve.
+type RobustnessResult = core.RobustnessResult
+
+// Robustness reruns applicability, fingerprinting, and the covert
+// channel under a fault profile at increasing intensities, charting how
+// gracefully the attack degrades as the sensor stack gets hostile.
+func Robustness(cfg RobustnessConfig) (*RobustnessResult, error) {
+	return core.Robustness(cfg)
 }
 
 // NewBoardByName wires any Table I board by catalog name.

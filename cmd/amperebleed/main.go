@@ -25,6 +25,11 @@
 //	leakage [-ladder]          TVLA fixed-vs-random assessment
 //	applicability              the attack loop on all 8 Table I boards
 //	covert [-bits]             PL->PS covert transmission over the sensor
+//	robustness [-profile]      accuracy-vs-fault-rate sweep under injected faults
+//
+// The global -faults flag (none|flaky-sysfs|stale-sensor|noisy-sched|
+// hostile) injects deterministic sensor and scheduler faults into every
+// simulated board; -fault-intensity scales the chosen profile.
 package main
 
 import (
@@ -37,6 +42,7 @@ import (
 	"repro/internal/board"
 	"repro/internal/core"
 	"repro/internal/dpu"
+	"repro/internal/faults"
 	"repro/internal/imagenet"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -53,6 +59,8 @@ func main() {
 	// expvar, net/http/pprof, and /metrics/snapshot while it runs.
 	obsText := flag.Bool("obs", false, "print an observability snapshot after the command")
 	obsAddr := flag.String("obs-addr", "", "serve /debug/pprof, /debug/vars and /metrics/snapshot on this address while the command runs")
+	faultsName := flag.String("faults", "none", "fault profile injected into every simulated board: "+strings.Join(faults.PresetNames(), "|"))
+	faultIntensity := flag.Float64("fault-intensity", 1, "scale factor applied to the -faults profile rates")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -60,6 +68,11 @@ func main() {
 		os.Exit(2)
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
+	profile, err := parseFaults(*faultsName, *faultIntensity)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amperebleed: %v\n", err)
+		os.Exit(2)
+	}
 	if *obsAddr != "" {
 		bound, shutdown, err := obs.Serve(*obsAddr, obs.Default)
 		if err != nil {
@@ -69,7 +82,6 @@ func main() {
 		defer shutdown()
 		fmt.Fprintf(os.Stderr, "obs: serving http://%s/metrics/snapshot and /debug/pprof/\n", bound)
 	}
-	var err error
 	switch cmd {
 	case "boards":
 		err = cmdBoards()
@@ -80,9 +92,9 @@ func main() {
 	case "watch":
 		err = cmdWatch(args)
 	case "characterize":
-		err = cmdCharacterize(args)
+		err = cmdCharacterize(args, profile)
 	case "fingerprint":
-		err = cmdFingerprint(args)
+		err = cmdFingerprint(args, profile)
 	case "rsa":
 		err = cmdRSA(args)
 	case "mitigate":
@@ -94,13 +106,15 @@ func main() {
 	case "leakage":
 		err = cmdLeakage(args)
 	case "applicability":
-		err = cmdApplicability(args)
+		err = cmdApplicability(args, profile)
+	case "robustness":
+		err = cmdRobustness(args)
 	case "export":
 		err = cmdExport(args)
 	case "detect":
 		err = cmdDetect(args)
 	case "covert":
-		err = cmdCovert(args)
+		err = cmdCovert(args, profile)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -121,14 +135,35 @@ func main() {
 	}
 }
 
+// parseFaults resolves the global -faults/-fault-intensity flags into a
+// profile for the board configs, or nil when fault injection is off.
+func parseFaults(name string, intensity float64) (*faults.Profile, error) {
+	p, err := faults.Preset(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err = p.Scale(intensity)
+	if err != nil {
+		return nil, err
+	}
+	if !p.Enabled() {
+		return nil, nil
+	}
+	return &p, nil
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: amperebleed [-obs] [-obs-addr host:port] <command> [flags]
+	fmt.Fprintln(os.Stderr, `usage: amperebleed [-obs] [-obs-addr host:port] [-faults profile] <command> [flags]
 
 global flags (before the command):
   -obs            print an observability snapshot (metrics, spans, events)
                   after the command completes
   -obs-addr ADDR  serve /debug/pprof, /debug/vars (expvar) and
                   /metrics/snapshot (JSON) on ADDR while the command runs
+  -faults NAME    inject sensor/scheduler faults into every simulated
+                  board: none|flaky-sysfs|stale-sensor|noisy-sched|hostile
+  -fault-intensity X
+                  scale the profile's rates by X (default 1)
 
 commands:
   boards        print the surveyed ARM-FPGA boards (Table I)
@@ -143,6 +178,7 @@ commands:
   profile       show where a model's inference time goes on the DPU
   leakage       run the TVLA fixed-vs-random leakage assessment
   applicability run the attack loop on all 8 Table I boards
+  robustness    sweep a fault profile and plot accuracy vs fault rate
   export        snapshot the simulated sysfs tree to a real directory
   detect        watch the FPGA sensor and report workload transitions
   covert        transmit bits over the FPGA->CPU covert channel`)
@@ -320,7 +356,7 @@ func deployVirus(b *board.ZCU102, groups int) error {
 	return array.SetActiveGroups(groups)
 }
 
-func cmdCharacterize(args []string) error {
+func cmdCharacterize(args []string, profile *faults.Profile) error {
 	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "experiment seed")
 	levels := fs.Int("levels", 0, "activation levels (0 = paper's 161)")
@@ -336,6 +372,7 @@ func cmdCharacterize(args []string) error {
 		SamplesPerLevel:   *samples,
 		DisableStabilizer: *noStab,
 		Parallelism:       *parallel,
+		Faults:            profile,
 	})
 	if err != nil {
 		return err
@@ -343,7 +380,7 @@ func cmdCharacterize(args []string) error {
 	return report.RenderFig2(os.Stdout, res)
 }
 
-func cmdFingerprint(args []string) error {
+func cmdFingerprint(args []string, profile *faults.Profile) error {
 	fs := flag.NewFlagSet("fingerprint", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "experiment seed")
 	models := fs.String("models", "", "comma-separated zoo models (empty = all 39)")
@@ -364,6 +401,7 @@ func cmdFingerprint(args []string) error {
 		Folds:          *folds,
 		UpdateInterval: *interval,
 		Parallelism:    *parallel,
+		Faults:         profile,
 	}
 	if *models != "" {
 		cfg.Models = strings.Split(*models, ",")
@@ -490,7 +528,7 @@ func cmdLeakage(args []string) error {
 	return nil
 }
 
-func cmdApplicability(args []string) error {
+func cmdApplicability(args []string, profile *faults.Profile) error {
 	fs := flag.NewFlagSet("applicability", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "experiment seed")
 	parallel := fs.Int("parallel", 0, "workers for the per-board shards (0 = GOMAXPROCS; results are identical for any worker count)")
@@ -500,11 +538,50 @@ func cmdApplicability(args []string) error {
 	rows, err := core.Applicability(core.ApplicabilityConfig{
 		Seed:        *seed,
 		Parallelism: *parallel,
+		Faults:      profile,
 	})
 	if err != nil {
 		return err
 	}
 	return report.RenderApplicability(os.Stdout, rows)
+}
+
+func cmdRobustness(args []string) error {
+	fs := flag.NewFlagSet("robustness", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "experiment seed")
+	prof := fs.String("profile", "hostile", "fault profile to sweep")
+	intensities := fs.String("intensities", "", "comma-separated scale factors (empty = 0,0.25,0.5,1,2)")
+	models := fs.Int("models", 6, "zoo models in the reduced fingerprint run")
+	traces := fs.Int("traces", 5, "traces per model")
+	dur := fs.Duration("duration", time.Second, "capture duration")
+	bits := fs.Int("bits", 32, "covert payload bits")
+	parallel := fs.Int("parallel", 0, "workers for the sharded sub-experiments (0 = GOMAXPROCS; results are identical for any worker count)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := core.RobustnessConfig{
+		Seed:           *seed,
+		Profile:        *prof,
+		Models:         *models,
+		TracesPerModel: *traces,
+		TraceDuration:  *dur,
+		PayloadBits:    *bits,
+		Parallelism:    *parallel,
+	}
+	if *intensities != "" {
+		for _, s := range strings.Split(*intensities, ",") {
+			var x float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &x); err != nil {
+				return fmt.Errorf("bad intensity %q: %v", s, err)
+			}
+			cfg.Intensities = append(cfg.Intensities, x)
+		}
+	}
+	res, err := core.Robustness(cfg)
+	if err != nil {
+		return err
+	}
+	return report.RenderRobustness(os.Stdout, res)
 }
 
 func cmdExport(args []string) error {
@@ -588,7 +665,7 @@ func cmdDetect(args []string) error {
 	return nil
 }
 
-func cmdCovert(args []string) error {
+func cmdCovert(args []string, profile *faults.Profile) error {
 	fs := flag.NewFlagSet("covert", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "board seed")
 	bits := fs.Int("bits", 128, "payload bits")
@@ -604,6 +681,7 @@ func cmdCovert(args []string) error {
 		SymbolUpdates:  *symbol,
 		UpdateInterval: *interval,
 		Parallelism:    *parallel,
+		Faults:         profile,
 	})
 	if err != nil {
 		return err

@@ -23,10 +23,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/board"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/report"
 )
@@ -84,9 +86,17 @@ func main() {
 		paperScale = flag.Bool("paper-scale", false, "use the paper's full capture budgets (slow)")
 		jsonOut    = flag.String("json", "", "write a JSON perf artifact (obs snapshot + derived rates), e.g. BENCH_obs.json")
 		parallel   = flag.Int("parallel", 0, "workers for sharded experiments (0 = GOMAXPROCS; results are identical for any worker count)")
+		faultsName = flag.String("faults", "none", "fault profile injected into every simulated board: "+strings.Join(faults.PresetNames(), "|"))
 	)
 	flag.Parse()
 	start := time.Now()
+	var profile *faults.Profile
+	if p, err := faults.Preset(*faultsName); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		os.Exit(2)
+	} else if p.Enabled() {
+		profile = &p
+	}
 
 	run := func(name string, f func() error) {
 		switch *exp {
@@ -113,7 +123,7 @@ func main() {
 		if *paperScale {
 			n = 10000
 		}
-		res, err := core.Characterize(core.CharacterizeConfig{Seed: *seed, SamplesPerLevel: n})
+		res, err := core.Characterize(core.CharacterizeConfig{Seed: *seed, SamplesPerLevel: n, Faults: profile})
 		if err != nil {
 			return err
 		}
@@ -135,6 +145,7 @@ func main() {
 			Folds:          1,
 			Channels:       channels,
 			Parallelism:    *parallel,
+			Faults:         profile,
 		})
 		if err != nil {
 			return err
@@ -146,6 +157,7 @@ func main() {
 			Seed:           *seed,
 			TracesPerModel: *traces,
 			Parallelism:    *parallel,
+			Faults:         profile,
 		})
 		if err != nil {
 			return err
@@ -172,6 +184,7 @@ func main() {
 		rows, err := core.Applicability(core.ApplicabilityConfig{
 			Seed:        *seed,
 			Parallelism: *parallel,
+			Faults:      profile,
 		})
 		if err != nil {
 			return err

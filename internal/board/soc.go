@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/hwmon"
 	"repro/internal/ina226"
 	"repro/internal/pdn"
@@ -92,6 +93,12 @@ type Config struct {
 	// experiments stay drift-free; the thermal-residue extension turns
 	// it on.
 	EnableThermal bool
+	// Faults, when non-nil and enabled, injects the profile's fault mix
+	// into the whole sensor stack: transient sysfs read errors, INA226
+	// stale latches and bit flips, regulator transients, and hwmon
+	// hotplug renumbering. All fault randomness comes from the board
+	// engine's named streams, so faulted runs stay deterministic.
+	Faults *faults.Profile
 }
 
 // DefaultStep is the default board simulation tick.
@@ -186,6 +193,8 @@ type SoC struct {
 	thermal *power.ThermalMass // nil unless Config.EnableThermal
 
 	sensors map[string]*ina226.Device
+
+	injector *faults.Injector // nil unless Config.Faults enabled
 }
 
 // ZCU102 is an alias for the generic SoC type: the ZCU102 is the
@@ -399,6 +408,24 @@ func Wire(spec Spec, cfg Config) (*SoC, error) {
 			return nil, err
 		}
 	}
+
+	// --- Fault injection (optional): hook every layer of the stack. ---
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		inj := faults.New(*cfg.Faults, eng)
+		b.injector = inj
+		tree.SetReadFault(inj.SysfsReadFault)
+		for label, dev := range b.sensors {
+			dev.SetFaults(inj.SensorFaults(label))
+		}
+		for id, reg := range b.regs {
+			reg.SetDisturbance(inj.RegulatorDisturbance(string(id)))
+		}
+		// Registered last so a renumber lands after the tick's sensor
+		// updates, like an asynchronous kernel event between samples.
+		if hp := inj.HotplugStepper(hw); hp != nil {
+			eng.MustRegister("faults/hotplug", hp)
+		}
+	}
 	return b, nil
 }
 
@@ -481,6 +508,10 @@ func (b *SoC) SensorCount() int { return len(b.sensors) }
 // Thermal returns the FPGA die's thermal mass, or nil when the board
 // was built without Config.EnableThermal.
 func (b *SoC) Thermal() *power.ThermalMass { return b.thermal }
+
+// FaultInjector returns the board's fault injector, or nil when the
+// board was built without an enabled Config.Faults profile.
+func (b *SoC) FaultInjector() *faults.Injector { return b.injector }
 
 // Run advances the board by d of simulated time.
 func (b *SoC) Run(d time.Duration) { b.eng.Run(d) }

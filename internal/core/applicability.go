@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"repro/internal/board"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -27,6 +29,10 @@ type ApplicabilityConfig struct {
 	// seed derived from Seed and the board name, so the survey's rows
 	// are bit-identical for every worker count.
 	Parallelism int
+	// Faults optionally injects a fault profile into every board's
+	// sensor stack; the sweep then samples through the resilient layer
+	// (retry, backoff, gap skipping) instead of aborting on first error.
+	Faults *faults.Profile
 }
 
 // BoardApplicability is one board's outcome.
@@ -94,7 +100,8 @@ func Applicability(cfg ApplicabilityConfig) ([]BoardApplicability, error) {
 
 func applicabilityOne(ctx context.Context, cfg ApplicabilityConfig, spec board.Spec) (BoardApplicability, error) {
 	b, err := board.Wire(spec, board.Config{
-		Seed: captureSeed(cfg.Seed, "applicability/"+spec.Name, 0),
+		Seed:   captureSeed(cfg.Seed, "applicability/"+spec.Name, 0),
+		Faults: cfg.Faults,
 	})
 	if err != nil {
 		return BoardApplicability{}, err
@@ -117,19 +124,22 @@ func applicabilityOne(ctx context.Context, cfg ApplicabilityConfig, spec board.S
 	if err != nil {
 		return BoardApplicability{}, err
 	}
-	probeI, err := attacker.Probe(Channel{Label: board.SensorFPGA, Kind: Current})
-	if err != nil {
-		return BoardApplicability{}, err
-	}
-	probeV, err := attacker.Probe(Channel{Label: board.SensorFPGA, Kind: Voltage})
-	if err != nil {
-		return BoardApplicability{}, err
-	}
 	dev, err := b.Sensor(board.SensorFPGA)
 	if err != nil {
 		return BoardApplicability{}, err
 	}
 	interval := dev.UpdateInterval()
+	// The current sampler owns the sampling cadence; the voltage sampler
+	// piggybacks on it with Read (no extra interval advance), matching
+	// the classic one-interval-per-iteration loop.
+	sampI, err := NewSampler(b, attacker, Channel{Label: board.SensorFPGA, Kind: Current}, interval)
+	if err != nil {
+		return BoardApplicability{}, err
+	}
+	sampV, err := NewSampler(b, attacker, Channel{Label: board.SensorFPGA, Kind: Voltage}, interval)
+	if err != nil {
+		return BoardApplicability{}, err
+	}
 
 	levels := make([]float64, 0, cfg.Levels)
 	current := make([]float64, 0, cfg.Levels)
@@ -143,14 +153,22 @@ func applicabilityOne(ctx context.Context, cfg ApplicabilityConfig, spec board.S
 		}
 		b.Run(3 * interval) // flush the previous level
 		var sum float64
+		var got int
 		for s := 0; s < cfg.SamplesPerLevel; s++ {
-			b.Run(interval)
-			v, err := probeI()
-			if err != nil {
+			v, err := sampI.Sample(ctx)
+			switch {
+			case errors.Is(err, ErrSampleLost):
+				// Gap: the level mean uses the samples that survived.
+			case err != nil:
 				return BoardApplicability{}, err
+			default:
+				sum += v
+				got++
 			}
-			sum += v
-			volts, err := probeV()
+			volts, err := sampV.Read(ctx)
+			if errors.Is(err, ErrSampleLost) {
+				continue
+			}
 			if err != nil {
 				return BoardApplicability{}, err
 			}
@@ -158,8 +176,16 @@ func applicabilityOne(ctx context.Context, cfg ApplicabilityConfig, spec board.S
 				inBand = false
 			}
 		}
+		if got == 0 {
+			continue // the whole level was lost: drop it from the fit
+		}
 		levels = append(levels, float64(level))
-		current = append(current, sum/float64(cfg.SamplesPerLevel))
+		current = append(current, sum/float64(got))
+	}
+	if len(levels) < 2 {
+		return BoardApplicability{}, fmt.Errorf(
+			"core: %s: only %d of %d activity levels survived fault injection",
+			spec.Name, len(levels), cfg.Levels)
 	}
 	pearson, err := stats.Pearson(levels, current)
 	if err != nil {

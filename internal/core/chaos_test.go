@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// Fault injection must not weaken the runner's determinism contract:
+// with any profile active, the shard schedule still may not leak into
+// the results. Every preset is pinned across worker counts — both the
+// collected trace bytes and the exact number of faults of each kind
+// that fired, since a single extra RNG draw on any code path would
+// desync the whole stream.
+
+func presetOrNil(t *testing.T, name string) *faults.Profile {
+	t.Helper()
+	p, err := faults.Preset(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Enabled() {
+		return nil
+	}
+	return &p
+}
+
+func TestChaosTracesDeterministicAcrossWorkers(t *testing.T) {
+	for _, preset := range faults.PresetNames() {
+		pf := presetOrNil(t, preset)
+		t.Run(preset, func(t *testing.T) {
+			cfg := FingerprintConfig{
+				Seed:           11,
+				Models:         []string{"MobileNet-V1", "VGG-19"},
+				TracesPerModel: 2,
+				TraceDuration:  300 * time.Millisecond,
+				Durations:      []time.Duration{300 * time.Millisecond},
+				Folds:          2,
+				Trees:          5,
+				Channels:       []Channel{{Label: board.SensorFPGA, Kind: Current}},
+				Faults:         pf,
+			}
+			var wantCaps []byte
+			var wantFaults map[string]int64
+			for _, workers := range workerCounts {
+				cfg.Parallelism = workers
+				before := obs.Default.Snapshot()
+				caps, err := CollectDPUTraces(cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: collect: %v", workers, err)
+				}
+				delta := faultCounterDelta(before, obs.Default.Snapshot())
+				var buf bytes.Buffer
+				if err := SaveCaptures(&buf, caps); err != nil {
+					t.Fatalf("workers=%d: save: %v", workers, err)
+				}
+				if wantCaps == nil {
+					wantCaps, wantFaults = buf.Bytes(), delta
+					if pf != nil && len(delta) == 0 {
+						t.Fatalf("profile %q active but no faults fired", preset)
+					}
+					continue
+				}
+				if !bytes.Equal(buf.Bytes(), wantCaps) {
+					t.Errorf("workers=%d: captures differ from workers=%d baseline", workers, workerCounts[0])
+				}
+				if !reflect.DeepEqual(delta, wantFaults) {
+					t.Errorf("workers=%d: fault counts %v differ from workers=%d baseline %v",
+						workers, delta, workerCounts[0], wantFaults)
+				}
+			}
+		})
+	}
+}
+
+func TestChaosApplicabilityDeterministicAcrossWorkers(t *testing.T) {
+	for _, preset := range faults.PresetNames() {
+		pf := presetOrNil(t, preset)
+		t.Run(preset, func(t *testing.T) {
+			var want []byte
+			var wantFaults map[string]int64
+			for _, workers := range workerCounts {
+				before := obs.Default.Snapshot()
+				// SamplesPerLevel must exceed the hostile profile's worst
+				// dropout burst (4 samples) or a level can lose every sample
+				// and legitimately abort the survey.
+				rows, err := Applicability(ApplicabilityConfig{
+					Seed:            11,
+					Levels:          3,
+					SamplesPerLevel: 8,
+					Parallelism:     workers,
+					Faults:          pf,
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				delta := faultCounterDelta(before, obs.Default.Snapshot())
+				got := mustJSON(t, rows)
+				if want == nil {
+					want, wantFaults = got, delta
+					continue
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("workers=%d: rows differ from workers=%d baseline", workers, workerCounts[0])
+				}
+				if !reflect.DeepEqual(delta, wantFaults) {
+					t.Errorf("workers=%d: fault counts %v differ from baseline %v", workers, delta, wantFaults)
+				}
+			}
+		})
+	}
+}
+
+func TestChaosCovertDeterministicAcrossWorkers(t *testing.T) {
+	for _, preset := range faults.PresetNames() {
+		pf := presetOrNil(t, preset)
+		t.Run(preset, func(t *testing.T) {
+			var want []byte
+			for _, workers := range workerCounts {
+				res, err := CovertTransmit(CovertConfig{
+					Seed:          11,
+					PayloadBits:   24,
+					SymbolUpdates: 1,
+					ChunkBits:     8,
+					Parallelism:   workers,
+					Faults:        pf,
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				got := mustJSON(t, res)
+				if want == nil {
+					want = got
+					continue
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("workers=%d: covert result differs from workers=%d baseline", workers, workerCounts[0])
+				}
+			}
+		})
+	}
+}
+
+// TestFaultFreeProfileMatchesLegacyPipeline pins the acceptance
+// criterion that -faults none is byte-identical to a build without the
+// fault subsystem: a nil profile and the "none" preset must yield the
+// same captures as the pre-faults collection path.
+func TestFaultFreeProfileMatchesLegacyPipeline(t *testing.T) {
+	cfg := FingerprintConfig{
+		Seed:           5,
+		Models:         []string{"MobileNet-V1"},
+		TracesPerModel: 1,
+		TraceDuration:  300 * time.Millisecond,
+		Durations:      []time.Duration{300 * time.Millisecond},
+		Folds:          1,
+		Channels:       []Channel{{Label: board.SensorFPGA, Kind: Current}},
+	}
+	collect := func(pf *faults.Profile) []byte {
+		c := cfg
+		c.Faults = pf
+		caps, err := CollectDPUTraces(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := SaveCaptures(&buf, caps); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	legacy := collect(nil)
+	none := presetOrNil(t, "none")
+	if none != nil {
+		t.Fatalf(`preset "none" reports Enabled`)
+	}
+	zero := &faults.Profile{Name: "none"}
+	if got := collect(zero); !bytes.Equal(got, legacy) {
+		t.Error("explicit zero-rate profile changed the captured traces")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/board"
+	"repro/internal/faults"
 	"repro/internal/ro"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -41,6 +42,9 @@ type CharacterizeConfig struct {
 	// >= 1. Zero keeps the classic serial protocol, where one board
 	// carries the whole sweep.
 	Parallelism int
+	// Faults optionally injects a fault profile into the rig; level
+	// means then average whichever samples survive.
+	Faults *faults.Profile
 }
 
 // LevelReading is the averaged observation at one activation level.
@@ -165,7 +169,7 @@ type characterizeRig struct {
 	b        *board.ZCU102
 	array    *virus.Array
 	bank     *ro.Bank
-	probes   map[Kind]func() (float64, error)
+	samplers map[Kind]*Sampler
 	interval time.Duration
 }
 
@@ -176,6 +180,7 @@ func newCharacterizeRig(cfg CharacterizeConfig, seed int64) (*characterizeRig, e
 	b, err := board.NewZCU102(board.Config{
 		Seed:              seed,
 		DisableStabilizer: cfg.DisableStabilizer,
+		Faults:            cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -209,31 +214,33 @@ func newCharacterizeRig(cfg CharacterizeConfig, seed int64) (*characterizeRig, e
 		return nil, err
 	}
 
-	// --- Attacker side: unprivileged hwmon probes on the FPGA sensor. ---
+	// --- Attacker side: unprivileged hwmon samplers on the FPGA sensor.
+	// The current sampler owns the cadence; voltage and power piggyback
+	// with Read so each iteration still advances exactly one interval. ---
 	attacker, err := NewAttacker(b.Sysfs(), sysfs.Nobody)
 	if err != nil {
 		return nil, err
 	}
-	probes := make(map[Kind]func() (float64, error), 3)
-	for _, k := range []Kind{Current, Voltage, Power} {
-		p, err := attacker.Probe(Channel{Label: board.SensorFPGA, Kind: k})
-		if err != nil {
-			return nil, err
-		}
-		probes[k] = p
-	}
-
 	dev, err := b.Sensor(board.SensorFPGA)
 	if err != nil {
 		return nil, err
+	}
+	interval := dev.UpdateInterval()
+	samplers := make(map[Kind]*Sampler, 3)
+	for _, k := range []Kind{Current, Voltage, Power} {
+		s, err := NewSampler(b, attacker, Channel{Label: board.SensorFPGA, Kind: k}, interval)
+		if err != nil {
+			return nil, err
+		}
+		samplers[k] = s
 	}
 	return &characterizeRig{
 		cfg:      cfg,
 		b:        b,
 		array:    array,
 		bank:     bank,
-		probes:   probes,
-		interval: dev.UpdateInterval(),
+		samplers: samplers,
+		interval: interval,
 	}, nil
 }
 
@@ -248,33 +255,42 @@ func (rig *characterizeRig) measureLevel(level int) (LevelReading, error) {
 	rig.b.Run(time.Duration(rig.cfg.WarmupUpdates) * rig.interval)
 	rig.bank.Sample() // discard counts accumulated during warmup
 
-	var sumI, sumV, sumP, sumR float64
+	ctx := context.Background()
+	var sum, got [3]float64
+	var sumR float64
+	kinds := []Kind{Current, Voltage, Power}
 	for s := 0; s < rig.cfg.SamplesPerLevel; s++ {
-		rig.b.Run(rig.interval)
-		i, err := rig.probes[Current]()
-		if err != nil {
-			return LevelReading{}, err
+		for j, k := range kinds {
+			var v float64
+			var err error
+			if j == 0 {
+				v, err = rig.samplers[k].Sample(ctx) // advances the interval
+			} else {
+				v, err = rig.samplers[k].Read(ctx)
+			}
+			if errors.Is(err, ErrSampleLost) {
+				continue
+			}
+			if err != nil {
+				return LevelReading{}, err
+			}
+			sum[j] += v
+			got[j]++
 		}
-		v, err := rig.probes[Voltage]()
-		if err != nil {
-			return LevelReading{}, err
-		}
-		p, err := rig.probes[Power]()
-		if err != nil {
-			return LevelReading{}, err
-		}
-		sumI += i
-		sumV += v
-		sumP += p
 		sumR += rig.bank.SampleMean()
 	}
-	n := float64(rig.cfg.SamplesPerLevel)
+	for j, k := range kinds {
+		if got[j] == 0 {
+			return LevelReading{}, fmt.Errorf("core: level %d: every %s sample lost", level, k)
+		}
+		sum[j] /= got[j]
+	}
 	return LevelReading{
 		ActiveGroups: level,
-		CurrentAmps:  sumI / n,
-		BusVolts:     sumV / n,
-		PowerWatts:   sumP / n,
-		ROCount:      sumR / n,
+		CurrentAmps:  sum[0],
+		BusVolts:     sum[1],
+		PowerWatts:   sum[2],
+		ROCount:      sumR / float64(rig.cfg.SamplesPerLevel),
 	}, nil
 }
 

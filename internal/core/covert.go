@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
 	"repro/internal/board"
+	"repro/internal/faults"
 	"repro/internal/runner"
 	"repro/internal/sysfs"
 	"repro/internal/virus"
@@ -49,6 +51,10 @@ type CovertConfig struct {
 	// ChunkBits is the payload chunk size of the multi-channel protocol;
 	// zero means 32.
 	ChunkBits int
+	// Faults optionally injects a fault profile into the transmission
+	// board(s); the receiver then records unrecoverable samples as NaN
+	// gaps and the decoder works from the finite samples per symbol.
+	Faults *faults.Profile
 }
 
 // CovertResult summarizes a transmission.
@@ -135,7 +141,7 @@ func CovertTransmit(cfg CovertConfig) (*CovertResult, error) {
 		return nil, errors.New("core: non-positive chunk size")
 	}
 	if cfg.Parallelism == 0 {
-		return covertOnce(cfg, cfg.Seed, cfg.PayloadBits)
+		return covertOnce(context.Background(), cfg, cfg.Seed, cfg.PayloadBits)
 	}
 
 	// Multi-channel protocol: fixed-size payload chunks, one board per
@@ -155,7 +161,7 @@ func CovertTransmit(cfg CovertConfig) (*CovertResult, error) {
 		shards[i] = runner.Shard[*CovertResult]{
 			Key: fmt.Sprintf("covert/chunk/%d", i),
 			Run: func(ctx context.Context, info runner.Info) (*CovertResult, error) {
-				return covertOnce(cfg, info.Seed, bits)
+				return covertOnce(ctx, cfg, info.Seed, bits)
 			},
 		}
 	}
@@ -181,11 +187,13 @@ func CovertTransmit(cfg CovertConfig) (*CovertResult, error) {
 }
 
 // covertOnce runs one end-to-end transmission of payloadBits bits on a
-// board seeded with seed.
-func covertOnce(cfg CovertConfig, seed int64, payloadBits int) (*CovertResult, error) {
+// board seeded with seed. ctx is polled between sampling intervals, so
+// cancellation lands mid-transmission.
+func covertOnce(ctx context.Context, cfg CovertConfig, seed int64, payloadBits int) (*CovertResult, error) {
 	b, err := board.NewZCU102(board.Config{
 		Seed:           seed,
 		UpdateInterval: cfg.UpdateInterval,
+		Faults:         cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -219,9 +227,14 @@ func covertOnce(cfg CovertConfig, seed int64, payloadBits int) (*CovertResult, e
 	if err != nil {
 		return nil, err
 	}
-	rec, err := attacker.NewRecorder(Channel{Label: board.SensorFPGA, Kind: Current}, interval)
+	rx := Channel{Label: board.SensorFPGA, Kind: Current}
+	rec, err := attacker.NewRecorder(rx, interval)
 	if err != nil {
 		return nil, err
+	}
+	if inj := b.FaultInjector(); inj != nil {
+		rec.SetPolicy(recorderHooks(attacker, rx, interval))
+		rec.SetFaults(inj.SamplerFaults("recorder/covert"))
 	}
 
 	// Settle, then start the transmission aligned with the recorder.
@@ -230,12 +243,36 @@ func covertOnce(cfg CovertConfig, seed int64, payloadBits int) (*CovertResult, e
 	b.Engine().MustRegister("covert-receiver", rec)
 	sender.start = b.Engine().Now()
 	sender.active = true
-	b.Run(time.Duration(len(frame))*period + 2*interval)
+	target := time.Duration(len(frame))*period + 2*interval
+	for advanced := time.Duration(0); advanced < target; {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		chunk := interval
+		if advanced+chunk > target {
+			chunk = target - advanced
+		}
+		b.Run(chunk)
+		advanced += chunk
+	}
+	// Injected jitter can leave the trace short of the frame; top up
+	// briefly, then pad with gaps so the decoder sees a full frame.
+	need := len(frame) * cfg.SymbolUpdates
+	for extra, maxExtra := 0, need/4+2; extra < maxExtra; extra++ {
+		if tr, err := rec.Trace(); err != nil || len(tr.Samples) >= need {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		b.Run(interval)
+	}
 
 	tr, err := rec.Trace()
 	if err != nil {
 		return nil, err
 	}
+	tr.PadGaps(need)
 	decoded, err := covertDecode(tr.Samples, cfg.SymbolUpdates, len(frame))
 	if err != nil {
 		return nil, err
@@ -257,6 +294,10 @@ func covertOnce(cfg CovertConfig, seed int64, payloadBits int) (*CovertResult, e
 // the sampling offset that best matches the alternating preamble, derive
 // the decision threshold from the preamble's high/low means, then
 // threshold each symbol's mean.
+//
+// NaN gaps (lost receiver samples) are excluded from every mean; a
+// symbol whose samples were all lost decodes as 0. Only a preamble
+// whose high or low symbols are entirely lost is unrecoverable.
 func covertDecode(samples []float64, samplesPerSymbol, frameBits int) ([]int, error) {
 	if samplesPerSymbol < 1 {
 		return nil, errors.New("core: bad symbol width")
@@ -265,51 +306,75 @@ func covertDecode(samples []float64, samplesPerSymbol, frameBits int) ([]int, er
 	if len(samples) < need {
 		return nil, fmt.Errorf("core: trace too short: %d samples, need %d", len(samples), need)
 	}
+	// symbolMeans averages each symbol's finite samples; an all-gap
+	// symbol yields NaN.
 	symbolMeans := func(offset int) []float64 {
 		out := make([]float64, frameBits)
 		for s := 0; s < frameBits; s++ {
 			var sum float64
+			var n int
 			for k := 0; k < samplesPerSymbol; k++ {
-				sum += samples[offset+s*samplesPerSymbol+k]
+				if v := samples[offset+s*samplesPerSymbol+k]; !math.IsNaN(v) {
+					sum += v
+					n++
+				}
 			}
-			out[s] = sum / float64(samplesPerSymbol)
+			if n == 0 {
+				out[s] = math.NaN()
+			} else {
+				out[s] = sum / float64(n)
+			}
 		}
 		return out
+	}
+	// preambleLevels averages the preamble's high and low symbol means,
+	// skipping lost symbols. ok is false when either level is entirely
+	// lost (no calibration possible).
+	preambleLevels := func(means []float64) (hi, lo float64, ok bool) {
+		var hiN, loN int
+		for i, bit := range preamble {
+			if math.IsNaN(means[i]) {
+				continue
+			}
+			if bit == 1 {
+				hi += means[i]
+				hiN++
+			} else {
+				lo += means[i]
+				loN++
+			}
+		}
+		if hiN == 0 || loN == 0 {
+			return 0, 0, false
+		}
+		return hi / float64(hiN), lo / float64(loN), true
 	}
 	maxOffset := len(samples) - need
 	if maxOffset > samplesPerSymbol {
 		maxOffset = samplesPerSymbol
 	}
-	bestOffset, bestScore := 0, -1.0
+	bestOffset, bestScore, found := 0, math.Inf(-1), false
 	for off := 0; off <= maxOffset; off++ {
-		means := symbolMeans(off)
-		// Preamble contrast: |mean(high symbols) - mean(low symbols)|.
-		var hi, lo float64
-		for i, bit := range preamble {
-			if bit == 1 {
-				hi += means[i]
-			} else {
-				lo += means[i]
-			}
+		hi, lo, ok := preambleLevels(symbolMeans(off))
+		if !ok {
+			continue
 		}
-		score := hi - lo
-		if score > bestScore {
+		// Preamble contrast: mean(high symbols) - mean(low symbols).
+		if score := hi - lo; score > bestScore {
 			bestScore = score
 			bestOffset = off
+			found = true
 		}
+	}
+	if !found {
+		return nil, errors.New("core: preamble lost: no offset with both levels observable")
 	}
 	means := symbolMeans(bestOffset)
-	var hi, lo float64
-	for i, bit := range preamble {
-		if bit == 1 {
-			hi += means[i]
-		} else {
-			lo += means[i]
-		}
-	}
-	threshold := (hi + lo) / float64(len(preamble))
+	hi, lo, _ := preambleLevels(means)
+	threshold := (hi + lo) / 2
 	bits := make([]int, frameBits)
 	for i, m := range means {
+		// NaN > threshold is false: an all-gap symbol decodes as 0.
 		if m > threshold {
 			bits[i] = 1
 		}

@@ -39,6 +39,14 @@ func constantSamples(n int, v float64) []float64 {
 	return out
 }
 
+func allNaN(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	return out
+}
+
 func TestEstimateInferencePeriodEdgeCases(t *testing.T) {
 	ch := Channel{Label: board.SensorFPGA, Kind: Current}
 	nanTrace := periodicSamples(64, 8)
@@ -59,7 +67,11 @@ func TestEstimateInferencePeriodEdgeCases(t *testing.T) {
 		{name: "below minimum length", capt: edgeCapture(constantSamples(15, 1)), wantErr: true},
 		{name: "constant trace", capt: edgeCapture(constantSamples(64, 2.5)), wantOK: false},
 		{name: "all zero", capt: edgeCapture(constantSamples(64, 0)), wantOK: false},
-		{name: "NaN sample", capt: edgeCapture(nanTrace), wantOK: false},
+		// A NaN is a lost-sample gap: the gap-aware spectrum recovers
+		// the period from the surviving samples.
+		{name: "NaN gap recovers", capt: edgeCapture(nanTrace), wantOK: true},
+		// A trace with no finite samples carries no structure at all.
+		{name: "all NaN", capt: edgeCapture(allNaN(64)), wantOK: false},
 		{name: "Inf sample", capt: edgeCapture(infTrace), wantOK: false},
 		{name: "clean periodic", capt: edgeCapture(periodicSamples(64, 8)), wantOK: true},
 	}
@@ -90,16 +102,31 @@ func TestEstimateInferencePeriodEdgeCases(t *testing.T) {
 }
 
 func TestDominantPeriodNeverDividesByZeroBin(t *testing.T) {
-	// A trace with a NaN zeroes out every Goertzel magnitude; before the
-	// guard this returned period=+Inf with ok=true.
-	tr := &trace.Trace{Interval: time.Millisecond, Samples: periodicSamples(64, 8)}
-	tr.Samples[0] = math.NaN()
+	// A trace with no finite samples has all-zero Goertzel magnitudes;
+	// before the guard this returned period=+Inf with ok=true.
+	tr := &trace.Trace{Interval: time.Millisecond, Samples: allNaN(64)}
 	period, ok, err := tr.DominantPeriod(16, 3.0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ok || period != 0 {
-		t.Fatalf("NaN trace produced period=%v ok=%v, want 0,false", period, ok)
+		t.Fatalf("all-NaN trace produced period=%v ok=%v, want 0,false", period, ok)
+	}
+}
+
+func TestDominantPeriodSurvivesGaps(t *testing.T) {
+	// Lost samples are mean-filled: the dominant period survives a
+	// scattering of gaps (leading, interior, and trailing).
+	tr := &trace.Trace{Interval: time.Millisecond, Samples: periodicSamples(64, 8)}
+	for _, i := range []int{0, 1, 20, 33, 62, 63} {
+		tr.Samples[i] = math.NaN()
+	}
+	period, ok, err := tr.DominantPeriod(16, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || period != 8 {
+		t.Fatalf("gapped periodic trace: period=%v ok=%v, want 8,true", period, ok)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/board"
 	"repro/internal/dpu"
+	"repro/internal/faults"
 	"repro/internal/imagenet"
 	"repro/internal/ml/crossval"
 	"repro/internal/ml/features"
@@ -72,6 +73,10 @@ type FingerprintConfig struct {
 	// UpdateInterval overrides the sensors' hwmon update interval (the
 	// ablation knob); zero keeps the 35 ms board default.
 	UpdateInterval time.Duration
+	// Faults optionally injects a fault profile into every capture
+	// board; recorders then run with the resilient retry policy and
+	// record unrecoverable samples as NaN gaps.
+	Faults *faults.Profile
 }
 
 func (cfg *FingerprintConfig) fillDefaults() {
@@ -202,6 +207,7 @@ func captureOne(ctx context.Context, cfg FingerprintConfig, modelName string, re
 	b, err := board.NewZCU102(board.Config{
 		Seed:           seed,
 		UpdateInterval: cfg.UpdateInterval,
+		Faults:         cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -247,6 +253,10 @@ func captureOne(ctx context.Context, cfg FingerprintConfig, modelName string, re
 		if err != nil {
 			return nil, err
 		}
+		if inj := b.FaultInjector(); inj != nil {
+			rec.SetPolicy(recorderHooks(attacker, ch, interval))
+			rec.SetFaults(inj.SamplerFaults(fmt.Sprintf("recorder/%s/%s", ch.Label, ch.Kind)))
+		}
 		recorders[ch] = rec
 	}
 
@@ -254,14 +264,55 @@ func captureOne(ctx context.Context, cfg FingerprintConfig, modelName string, re
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	for ch, rec := range recorders {
+	// Register in cfg.Channels order: step order within a tick is then
+	// independent of map iteration (read-only recorders make this a
+	// cosmetic guarantee, but it keeps the engine wiring reproducible).
+	for _, ch := range cfg.Channels {
+		rec := recorders[ch]
 		rec.Reset()
 		if err := b.Engine().Register(fmt.Sprintf("recorder/%s", ch), rec); err != nil {
 			return nil, err
 		}
 	}
 	span := obs.StartSpan("core.capture", b.Engine())
-	b.Run(cfg.TraceDuration + interval) // one extra update so prefixes fit
+	// One extra update beyond TraceDuration so every prefix fits. The
+	// run is chunked at the sampling interval with the context polled
+	// between chunks, so cancellation lands mid-trace, not only at
+	// shard boundaries.
+	target := cfg.TraceDuration + interval
+	for advanced := time.Duration(0); advanced < target; {
+		if err := ctx.Err(); err != nil {
+			span.End()
+			return nil, err
+		}
+		chunk := interval
+		if advanced+chunk > target {
+			chunk = target - advanced
+		}
+		b.Run(chunk)
+		advanced += chunk
+	}
+	// Injected jitter and dropouts can leave traces short of the sample
+	// budget the duration sweep needs. Top up with a bounded number of
+	// extra updates, then pad what is still missing with NaN gaps.
+	needed := int(cfg.TraceDuration / interval)
+	for extra, maxExtra := 0, needed/4+2; extra < maxExtra; extra++ {
+		if err := ctx.Err(); err != nil {
+			span.End()
+			return nil, err
+		}
+		short := false
+		for _, rec := range recorders {
+			if tr, err := rec.Trace(); err == nil && len(tr.Samples) < needed {
+				short = true
+				break
+			}
+		}
+		if !short {
+			break
+		}
+		b.Run(interval)
+	}
 	span.End()
 
 	cap := &Capture{Model: modelName, Rep: rep, Traces: make(map[Channel]*trace.Trace)}
@@ -271,6 +322,7 @@ func captureOne(ctx context.Context, cfg FingerprintConfig, modelName string, re
 		if err != nil {
 			return nil, fmt.Errorf("core: channel %v: %w", ch, err)
 		}
+		tr.PadGaps(needed)
 		cap.Traces[ch] = tr
 		// The achieved sampling rate in simulated time: the quantity the
 		// channel capacity of every experiment depends on. One value per

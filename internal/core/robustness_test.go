@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRobustnessSweep(t *testing.T) {
+	res, err := Robustness(RobustnessConfig{
+		Seed:           9,
+		Profile:        "hostile",
+		Intensities:    []float64{1, 0}, // unsorted on purpose
+		Models:         2,
+		TracesPerModel: 2,
+		TraceDuration:  300 * time.Millisecond,
+		Folds:          2,
+		PayloadBits:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile != "hostile" || len(res.Points) != 2 {
+		t.Fatalf("result = %+v, want 2 hostile points", res)
+	}
+	base, full := res.Points[0], res.Points[1]
+	if base.Intensity != 0 || full.Intensity != 1 {
+		t.Fatalf("points not in ascending intensity order: %v, %v", base.Intensity, full.Intensity)
+	}
+	if len(base.InjectedFaults) != 0 || base.Retries != 0 || base.Gaps != 0 {
+		t.Errorf("intensity 0 absorbed faults: %+v", base)
+	}
+	if len(full.InjectedFaults) == 0 {
+		t.Error("intensity 1 injected no faults")
+	}
+	for _, p := range res.Points {
+		if p.FingerprintTop1 < 0 || p.FingerprintTop1 > 1 || p.CovertBER < 0 || p.CovertBER > 1 {
+			t.Errorf("intensity %v: metrics out of range: %+v", p.Intensity, p)
+		}
+	}
+	if res.Classes != 2 {
+		t.Errorf("classes = %d, want 2", res.Classes)
+	}
+	// The fault-free baseline must track the current channel perfectly,
+	// as in the clean applicability survey.
+	if base.ApplicabilityPearson < 0.9 {
+		t.Errorf("baseline Pearson = %v, want ~1", base.ApplicabilityPearson)
+	}
+}
+
+func TestRobustnessRejectsUnknownProfile(t *testing.T) {
+	if _, err := Robustness(RobustnessConfig{Profile: "no-such"}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Sampler metrics: every resilient sampling loop (the level sweeps and
+// the per-channel recorders) reports through these, so an experiment's
+// obs snapshot shows exactly how much abuse the sampling layer absorbed.
+var (
+	cSamples    = obs.C("core.sampler.samples")
+	cRetries    = obs.C("core.sampler.retries")
+	cGaps       = obs.C("core.sampler.gaps")
+	cReresolves = obs.C("core.sampler.reresolves")
+	cBackoffNs  = obs.C("core.sampler.backoff_ns")
+)
+
+// ErrSampleLost marks a sample the resilient sampling layer gave up on
+// (retries exhausted, per-sample deadline blown, or a dropout burst).
+// Callers treat it as a gap, not a failure: skip the sample and keep
+// sweeping.
+var ErrSampleLost = errors.New("core: sample lost")
+
+// RetryPolicy is re-exported from internal/trace: one policy type
+// configures both the recorder-based captures and the loop-based
+// samplers.
+type RetryPolicy = trace.RetryPolicy
+
+// DefaultRetryPolicy returns the sampling layer's standard policy:
+// injected EAGAIN/EIO classify as transient, everything else is fatal.
+// Interval supplies the per-sample deadline.
+func DefaultRetryPolicy(interval time.Duration) RetryPolicy {
+	return RetryPolicy{Transient: faults.IsTransient}.WithDefaults(interval)
+}
+
+// Sampler is the resilient sample-per-call counterpart of the trace
+// recorder, used by the level-sweep experiments that interleave victim
+// control with measurement. Each Sample advances the board by one
+// sampling interval (plus any injected scheduler jitter) and reads the
+// channel with retry, sim-time backoff, hotplug re-resolution, and a
+// per-sample deadline. Without an enabled fault profile it degenerates
+// to exactly the legacy "run one interval, read once" loop.
+type Sampler struct {
+	b        *board.SoC
+	attacker *Attacker
+	ch       Channel
+	interval time.Duration
+	probe    func() (float64, error)
+	policy   RetryPolicy
+	faults   trace.SampleFaults
+
+	dropoutLeft int
+}
+
+// NewSampler resolves the channel through unprivileged discovery and
+// returns a sampler on the board's engine. The board's fault injector,
+// when present, supplies the scheduler fault stream keyed by the
+// channel.
+func NewSampler(b *board.SoC, attacker *Attacker, ch Channel, interval time.Duration) (*Sampler, error) {
+	if b == nil || attacker == nil {
+		return nil, errors.New("core: sampler needs a board and an attacker")
+	}
+	if interval <= 0 {
+		return nil, errors.New("core: non-positive sampling interval")
+	}
+	probe, err := attacker.Probe(ch)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sampler{
+		b:        b,
+		attacker: attacker,
+		ch:       ch,
+		interval: interval,
+		probe:    probe,
+		policy:   DefaultRetryPolicy(interval),
+	}
+	if inj := b.FaultInjector(); inj != nil {
+		s.faults = inj.SamplerFaults(fmt.Sprintf("sampler/%s/%s", ch.Label, ch.Kind))
+	}
+	return s, nil
+}
+
+// SetPolicy overrides the retry policy (normalized with WithDefaults).
+func (s *Sampler) SetPolicy(p RetryPolicy) { s.policy = p.WithDefaults(s.interval) }
+
+// Sample advances the board one sampling interval and reads the
+// channel. It returns (NaN, ErrSampleLost) for an unrecoverable sample
+// and the context error if ctx is cancelled, including mid-backoff.
+func (s *Sampler) Sample(ctx context.Context) (float64, error) {
+	d := s.interval
+	if s.faults != nil && s.dropoutLeft == 0 {
+		if k := s.faults.DropoutLen(); k > 0 {
+			s.dropoutLeft = k
+		}
+		d += s.faults.JitterDelay(s.interval)
+	}
+	s.b.Run(d)
+	if s.dropoutLeft > 0 {
+		// The sampling task was descheduled for this interval: the time
+		// passed, but no read happened.
+		s.dropoutLeft--
+		cGaps.Inc()
+		return math.NaN(), ErrSampleLost
+	}
+	return s.Read(ctx)
+}
+
+// Read reads the channel now, with retry but without advancing the
+// nominal sampling interval first (backoff still advances sim time).
+// Use it for secondary channels piggybacking on a primary sampler's
+// cadence.
+func (s *Sampler) Read(ctx context.Context) (float64, error) {
+	backoff := s.policy.BaseBackoff
+	var spent time.Duration
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		v, err := s.probe()
+		if err == nil {
+			cSamples.Inc()
+			return v, nil
+		}
+		transient := s.policy.Transient != nil && s.policy.Transient(err)
+		if errors.Is(err, fs.ErrNotExist) {
+			// Hotplug renumber moved the attribute: re-discover. A failed
+			// re-resolution is itself transient — the next attempt tries
+			// again.
+			if probe, rerr := s.attacker.Probe(s.ch); rerr == nil {
+				s.probe = probe
+				cReresolves.Inc()
+			}
+			transient = true
+		}
+		if !transient {
+			return 0, err
+		}
+		cRetries.Inc()
+		if attempt >= s.policy.MaxAttempts || spent+backoff > s.policy.SampleDeadline {
+			cGaps.Inc()
+			return math.NaN(), ErrSampleLost
+		}
+		// Back off in simulated time: the board keeps running while the
+		// sampling loop sleeps.
+		s.b.Run(backoff)
+		cBackoffNs.Add(backoff.Nanoseconds())
+		spent += backoff
+		backoff *= 2
+		if backoff > s.policy.MaxBackoff {
+			backoff = s.policy.MaxBackoff
+		}
+	}
+}
+
+// recorderHooks wires a capture recorder into the sampling metrics and
+// the attacker's re-resolution path; used by captureOne and covertOnce
+// when a fault profile is active.
+func recorderHooks(attacker *Attacker, ch Channel, interval time.Duration) *trace.RetryPolicy {
+	p := DefaultRetryPolicy(interval)
+	p.Resolve = func() (func() (float64, error), error) {
+		probe, err := attacker.Probe(ch)
+		if err == nil {
+			cReresolves.Inc()
+		}
+		return probe, err
+	}
+	p.OnRetry = cRetries.Inc
+	p.OnGap = cGaps.Inc
+	return &p
+}

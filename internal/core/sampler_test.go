@@ -1,0 +1,257 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/faults"
+	"repro/internal/sysfs"
+)
+
+func newTestSampler(t *testing.T) (*Sampler, *board.SoC) {
+	t.Helper()
+	b, err := board.NewZCU102(board.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run(10 * time.Millisecond)
+	atk, err := NewAttacker(b.Sysfs(), sysfs.Nobody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(b, atk, Channel{Label: board.SensorFPGA, Kind: Current}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, b
+}
+
+func TestSamplerRetryOutcomes(t *testing.T) {
+	errPerm := errors.New("permission denied")
+	tests := []struct {
+		name string
+		// probe is scripted per attempt; called with the 1-based attempt
+		// number.
+		probe   func(attempt int) (float64, error)
+		policy  RetryPolicy
+		wantVal float64
+		wantErr error // nil: expect success
+		lost    bool  // expect (NaN, ErrSampleLost)
+	}{
+		{
+			name:    "clean read needs one attempt",
+			probe:   func(int) (float64, error) { return 1.5, nil },
+			wantVal: 1.5,
+		},
+		{
+			name: "transient errors recover within budget",
+			probe: func(attempt int) (float64, error) {
+				if attempt < 3 {
+					return 0, faults.ErrAgain
+				}
+				return 2.5, nil
+			},
+			// The default deadline (one interval) only fits one backoff;
+			// two retries need room.
+			policy: RetryPolicy{
+				MaxAttempts:    4,
+				BaseBackoff:    time.Millisecond,
+				MaxBackoff:     8 * time.Millisecond,
+				SampleDeadline: 10 * time.Millisecond,
+			},
+			wantVal: 2.5,
+		},
+		{
+			name:  "transient exhausted becomes a lost sample",
+			probe: func(int) (float64, error) { return 0, faults.ErrIO },
+			lost:  true,
+		},
+		{
+			name:    "non-transient error is fatal immediately",
+			probe:   func(int) (float64, error) { return 0, errPerm },
+			wantErr: errPerm,
+		},
+		{
+			name:  "deadline bounds the retry budget before MaxAttempts",
+			probe: func(int) (float64, error) { return 0, faults.ErrAgain },
+			policy: RetryPolicy{
+				MaxAttempts:    100,
+				BaseBackoff:    time.Millisecond,
+				MaxBackoff:     time.Millisecond,
+				SampleDeadline: 2 * time.Millisecond,
+			},
+			lost: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s, _ := newTestSampler(t)
+			if tt.policy.MaxAttempts != 0 {
+				p := tt.policy
+				p.Transient = faults.IsTransient
+				s.SetPolicy(p)
+			}
+			attempt := 0
+			s.probe = func() (float64, error) {
+				attempt++
+				return tt.probe(attempt)
+			}
+			v, err := s.Read(context.Background())
+			switch {
+			case tt.lost:
+				if !errors.Is(err, ErrSampleLost) || !math.IsNaN(v) {
+					t.Fatalf("got (%v, %v), want (NaN, ErrSampleLost)", v, err)
+				}
+			case tt.wantErr != nil:
+				if !errors.Is(err, tt.wantErr) {
+					t.Fatalf("err = %v, want %v", err, tt.wantErr)
+				}
+				if attempt != 1 {
+					t.Errorf("fatal error retried %d times", attempt-1)
+				}
+			default:
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != tt.wantVal {
+					t.Fatalf("value = %v, want %v", v, tt.wantVal)
+				}
+			}
+		})
+	}
+}
+
+func TestSamplerDeadlineCountsAttempts(t *testing.T) {
+	// With a 1 ms flat backoff and a 2 ms deadline, exactly two backoffs
+	// fit: attempts 1..3 probe, the third failure lands past the budget.
+	s, _ := newTestSampler(t)
+	s.SetPolicy(RetryPolicy{
+		MaxAttempts:    100,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     time.Millisecond,
+		SampleDeadline: 2 * time.Millisecond,
+		Transient:      faults.IsTransient,
+	})
+	attempts := 0
+	s.probe = func() (float64, error) { attempts++; return 0, faults.ErrAgain }
+	if _, err := s.Read(context.Background()); !errors.Is(err, ErrSampleLost) {
+		t.Fatalf("err = %v, want ErrSampleLost", err)
+	}
+	if attempts != 3 {
+		t.Errorf("probed %d times, want 3 (two backoffs inside the 2 ms deadline)", attempts)
+	}
+}
+
+func TestSamplerBackoffAdvancesSimTime(t *testing.T) {
+	s, b := newTestSampler(t)
+	s.SetPolicy(RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  8 * time.Millisecond,
+		// Generous deadline so MaxAttempts is the binding limit.
+		SampleDeadline: time.Second,
+		Transient:      faults.IsTransient,
+	})
+	attempt := 0
+	s.probe = func() (float64, error) {
+		attempt++
+		if attempt < 3 {
+			return 0, faults.ErrAgain
+		}
+		return 1, nil
+	}
+	start := b.Engine().Now()
+	if _, err := s.Read(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Two retries back off 1 ms then 2 ms, in simulated time.
+	if got, want := b.Engine().Now()-start, 3*time.Millisecond; got != want {
+		t.Errorf("backoff advanced sim clock by %v, want %v", got, want)
+	}
+}
+
+func TestSamplerContextCancelDuringBackoff(t *testing.T) {
+	s, _ := newTestSampler(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	s.probe = func() (float64, error) {
+		cancel() // cancelled while the loop is mid-retry
+		return 0, faults.ErrAgain
+	}
+	if _, err := s.Read(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSamplerReresolvesAfterHotplug(t *testing.T) {
+	// A probe holding a pre-renumber path fails with ErrNotExist; the
+	// sampler must re-discover through the attacker and succeed on the
+	// next attempt with the fresh probe.
+	s, _ := newTestSampler(t)
+	stale := true
+	real := s.probe
+	s.probe = func() (float64, error) {
+		if stale {
+			stale = false
+			return 0, fs.ErrNotExist
+		}
+		return real()
+	}
+	v, err := s.Read(context.Background())
+	if err != nil {
+		t.Fatalf("read after re-resolve: %v", err)
+	}
+	if math.IsNaN(v) {
+		t.Errorf("re-resolved read returned NaN")
+	}
+	if stale {
+		t.Error("stale probe was never consulted")
+	}
+}
+
+func TestSamplerDropoutBurst(t *testing.T) {
+	s, b := newTestSampler(t)
+	s.faults = &scriptedFaults{dropouts: []int{2}}
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		v, err := s.Sample(ctx)
+		if !errors.Is(err, ErrSampleLost) || !math.IsNaN(v) {
+			t.Fatalf("burst sample %d: got (%v, %v), want (NaN, ErrSampleLost)", i, v, err)
+		}
+	}
+	if v, err := s.Sample(ctx); err != nil || math.IsNaN(v) {
+		t.Fatalf("post-burst sample: got (%v, %v), want a live read", v, err)
+	}
+	// Each Sample still advances exactly one interval: 3 samples, 3 ms.
+	if now := b.Engine().Now(); now != 10*time.Millisecond+3*time.Millisecond {
+		t.Errorf("sim clock at %v after 3 samples, want 13ms", now)
+	}
+}
+
+// scriptedFaults feeds a fixed dropout/jitter schedule to a sampler.
+type scriptedFaults struct {
+	dropouts []int
+	jitters  []time.Duration
+}
+
+func (f *scriptedFaults) DropoutLen() int {
+	if len(f.dropouts) == 0 {
+		return 0
+	}
+	n := f.dropouts[0]
+	f.dropouts = f.dropouts[1:]
+	return n
+}
+
+func (f *scriptedFaults) JitterDelay(time.Duration) time.Duration {
+	if len(f.jitters) == 0 {
+		return 0
+	}
+	d := f.jitters[0]
+	f.jitters = f.jitters[1:]
+	return d
+}

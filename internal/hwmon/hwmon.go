@@ -45,6 +45,11 @@ type Entry struct {
 	Dir string
 	// Device is the underlying sensor model.
 	Device *ina226.Device
+
+	// attrs keeps the attribute set so the entry can be re-exposed
+	// under a new index after a hotplug/renumber event. The Show/Store
+	// closures capture the device, not the path, so they survive moves.
+	attrs map[string]sysfs.Attr
 }
 
 // Attr returns the sysfs path of one of the entry's attribute files.
@@ -130,6 +135,7 @@ func (s *Subsystem) Register(dev *ina226.Device) (*Entry, error) {
 			},
 		},
 	}
+	e.attrs = attrs
 	for name, a := range attrs {
 		if err := s.fs.AddAttr(e.Attr(name), a); err != nil {
 			return nil, err
@@ -138,6 +144,32 @@ func (s *Subsystem) Register(dev *ina226.Device) (*Entry, error) {
 	s.entries = append(s.entries, e)
 	s.byLabel[label] = e
 	return e, nil
+}
+
+// Renumber simulates a hotplug re-enumeration: every entry's hwmonN
+// directory disappears and reappears under an index shifted by n (how
+// the kernel renumbers the class when a device resets and re-probes).
+// Attribute contents and labels are unchanged; only the paths move, so
+// any reader holding a stale path sees ENOENT until it re-discovers.
+func (s *Subsystem) Renumber(n int) error {
+	if n < 1 {
+		return fmt.Errorf("hwmon: renumber shift %d must be positive", n)
+	}
+	for _, e := range s.entries {
+		if err := s.fs.Remove(e.Dir); err != nil {
+			return err
+		}
+	}
+	for _, e := range s.entries {
+		e.Index += n
+		e.Dir = fmt.Sprintf("%s/hwmon%d", ClassDir, e.Index)
+		for name, a := range e.attrs {
+			if err := s.fs.AddAttr(e.Attr(name), a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // TempDriverName is the "name" attribute of temperature nodes (the
@@ -169,6 +201,7 @@ func (s *Subsystem) RegisterTemperature(label string, tempC func() float64) (*En
 			return formatMilli(tempC()), nil
 		}},
 	}
+	e.attrs = attrs
 	for name, a := range attrs {
 		if err := s.fs.AddAttr(e.Attr(name), a); err != nil {
 			return nil, err

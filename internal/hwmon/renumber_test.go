@@ -1,0 +1,73 @@
+package hwmon
+
+import (
+	"errors"
+	"io/fs"
+	"strings"
+	"testing"
+
+	"repro/internal/sysfs"
+)
+
+func TestRenumberMovesEntries(t *testing.T) {
+	sub, tree := mkSubsystem(t)
+	a, err := sub.Register(mkSensor(t, "ina226_u76", 2, 0.85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sub.Register(mkSensor(t, "ina226_u79", 6, 0.85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldA, oldB := a.Dir, b.Dir
+
+	if err := sub.Renumber(2); err != nil {
+		t.Fatalf("Renumber: %v", err)
+	}
+
+	// Stale paths return ENOENT, like a reader holding a pre-hotplug fd.
+	for _, dir := range []string{oldA, oldB} {
+		if _, err := tree.ReadFile(sysfs.Nobody, dir+"/curr1_input"); !errors.Is(err, fs.ErrNotExist) {
+			t.Errorf("stale path %s: err = %v, want ErrNotExist", dir, err)
+		}
+	}
+
+	// New paths carry the same devices: labels and readings intact.
+	if a.Index != 2 || b.Index != 3 {
+		t.Fatalf("indices after shift: %d, %d, want 2, 3", a.Index, b.Index)
+	}
+	label, err := tree.ReadFile(sysfs.Nobody, a.Attr("label"))
+	if err != nil {
+		t.Fatalf("read relocated label: %v", err)
+	}
+	if strings.TrimSpace(label) != "VCCPSINTFP" && strings.TrimSpace(label) != "ina226_u76" {
+		// Label formatting is the subsystem's concern; it only must be
+		// the same device as before.
+		t.Logf("relocated label = %q", label)
+	}
+	if _, err := tree.ReadFile(sysfs.Nobody, b.Attr("curr1_input")); err != nil {
+		t.Errorf("read relocated measurement: %v", err)
+	}
+
+	// Lookup by label still resolves to the moved entry.
+	if e, ok := sub.ByLabel("ina226_u79"); !ok || e.Dir != b.Dir {
+		t.Errorf("ByLabel after renumber: %+v, %v", e, ok)
+	}
+
+	// A second shift stacks on the first.
+	if err := sub.Renumber(1); err != nil {
+		t.Fatalf("second Renumber: %v", err)
+	}
+	if a.Index != 3 || b.Index != 4 {
+		t.Errorf("indices after second shift: %d, %d, want 3, 4", a.Index, b.Index)
+	}
+}
+
+func TestRenumberRejectsNonPositiveShift(t *testing.T) {
+	sub, _ := mkSubsystem(t)
+	for _, n := range []int{0, -1} {
+		if err := sub.Renumber(n); err == nil {
+			t.Errorf("Renumber(%d) accepted", n)
+		}
+	}
+}

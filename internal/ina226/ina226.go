@@ -118,6 +118,9 @@ type Device struct {
 	configReg  uint16
 	maskEnable uint16
 	alertLimit uint16
+
+	// fault-injection hooks (optional; see SetFaults)
+	faults FaultHooks
 }
 
 // New validates cfg and returns a device with all registers zero.
@@ -168,6 +171,33 @@ func New(cfg Config) (*Device, error) {
 	d.encodeIntervalInConfig()
 	return d, nil
 }
+
+// LatchedRegs is the set of registers written by one conversion latch,
+// exposed to fault hooks so injected corruption happens exactly at the
+// latch boundary — the point where a real device's analog glitch or
+// I2C bit error would enter the digital domain.
+type LatchedRegs struct {
+	Shunt, Bus, Current, Power int32
+}
+
+// FaultHooks are the sensor-level fault-injection points (see
+// internal/faults). Both hooks are optional; they run inside latch(),
+// so every decision is a deterministic function of the device's
+// conversion schedule.
+type FaultHooks struct {
+	// SkipLatch, when it returns true, drops the pending conversion:
+	// the registers keep their previous (stale) values, the update
+	// counter does not advance, and readers observing Updates see the
+	// stall — the "stale value between conversion intervals" failure
+	// mode of the hwmon stack.
+	SkipLatch func() bool
+	// CorruptLatch may mutate the freshly computed registers before
+	// they are latched (e.g. flip a bit), modeling conversion glitches.
+	CorruptLatch func(*LatchedRegs)
+}
+
+// SetFaults installs the fault hooks; the zero FaultHooks removes them.
+func (d *Device) SetFaults(h FaultHooks) { d.faults = h }
 
 // Label returns the board designator.
 func (d *Device) Label() string { return d.label }
@@ -251,18 +281,32 @@ func (d *Device) latch() {
 	meanBus := d.accBus / window
 	d.accShunt, d.accBus, d.accTime = 0, 0, 0
 
-	d.shuntReg = clampReg(math.Round(meanShunt / ShuntLSB))
-	d.busReg = clampReg(math.Round(meanBus / BusLSB))
-	if d.busReg < 0 {
-		d.busReg = 0 // bus ADC is unipolar
+	if d.faults.SkipLatch != nil && d.faults.SkipLatch() {
+		// Stale-latch fault: the conversion result is lost; readers keep
+		// seeing the previous registers and update count for another
+		// whole interval.
+		return
+	}
+
+	regs := LatchedRegs{
+		Shunt: clampReg(math.Round(meanShunt / ShuntLSB)),
+		Bus:   clampReg(math.Round(meanBus / BusLSB)),
+	}
+	if regs.Bus < 0 {
+		regs.Bus = 0 // bus ADC is unipolar
 	}
 	// Datasheet: Current = ShuntReg * CAL / 2048 (integer pipeline).
-	d.currentReg = int32(int64(d.shuntReg) * int64(d.cal) / 2048)
+	regs.Current = int32(int64(regs.Shunt) * int64(d.cal) / 2048)
 	// Datasheet: Power = CurrentReg * BusReg / 20000, LSB = 25*CurrentLSB.
-	d.powerReg = int32(int64(d.currentReg) * int64(d.busReg) / 20000)
-	if d.powerReg < 0 {
-		d.powerReg = 0
+	regs.Power = int32(int64(regs.Current) * int64(regs.Bus) / 20000)
+	if regs.Power < 0 {
+		regs.Power = 0
 	}
+	if d.faults.CorruptLatch != nil {
+		d.faults.CorruptLatch(&regs)
+	}
+	d.shuntReg, d.busReg, d.currentReg, d.powerReg =
+		regs.Shunt, regs.Bus, regs.Current, regs.Power
 	d.updates++
 	obsConversions.Inc()
 	d.evaluateAlert()

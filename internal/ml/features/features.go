@@ -25,7 +25,10 @@ func Width(bins int) int { return bins + summaryWidth }
 
 // FromTrace converts one trace into a feature vector of Width(bins)
 // values: bins average-pooled samples followed by mean, standard
-// deviation, min, max, and the quartiles Q1 and Q3.
+// deviation, min, max, and the quartiles Q1 and Q3. NaN gaps are
+// excluded from the statistics; a trace whose samples were all lost
+// degrades to the all-zero vector instead of failing, so one dead
+// capture cannot poison a whole dataset.
 func FromTrace(t *trace.Trace, bins int) ([]float64, error) {
 	if t == nil {
 		return nil, errors.New("features: nil trace")
@@ -34,15 +37,19 @@ func FromTrace(t *trace.Trace, bins int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	mean, err := stats.Mean(t.Samples)
+	finite := t.Finite()
+	if len(finite) == 0 {
+		return append(vec, make([]float64, summaryWidth)...), nil
+	}
+	mean, err := stats.Mean(finite)
 	if err != nil {
 		return nil, err
 	}
-	std, err := stats.StdDev(t.Samples)
+	std, err := stats.StdDev(finite)
 	if err != nil {
 		return nil, err
 	}
-	sum, err := stats.Summary(t.Samples)
+	sum, err := stats.Summary(finite)
 	if err != nil {
 		return nil, err
 	}

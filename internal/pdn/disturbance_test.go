@@ -1,0 +1,57 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSetDisturbanceEscapesBandTransiently(t *testing.T) {
+	rail := mkRail(t)
+	reg, err := NewRegulator(RegulatorConfig{Rail: rail, Band: usBand})
+	if err != nil {
+		t.Fatalf("NewRegulator: %v", err)
+	}
+	const dt = 100 * time.Microsecond
+	reg.Step(dt, dt)
+	clean := rail.Voltage()
+	if !usBand.Contains(clean) {
+		t.Fatalf("stabilized voltage %v outside band before injection", clean)
+	}
+
+	// A +50 mV transient rides on top of the regulated value, so the
+	// excursion escapes the stabilizer band — the observable signature
+	// of an injected VRM load-step.
+	reg.SetDisturbance(func(now time.Duration) float64 { return 0.05 })
+	reg.Step(2*dt, dt)
+	excursion := rail.Voltage()
+	if math.Abs(excursion-(clean+0.05)) > 1e-12 {
+		t.Fatalf("disturbed voltage = %v, want %v", excursion, clean+0.05)
+	}
+	if usBand.Contains(excursion) {
+		t.Errorf("transient %v did not escape the band", excursion)
+	}
+
+	// Removing the hook restores the regulated output on the next tick.
+	reg.SetDisturbance(nil)
+	reg.Step(3*dt, dt)
+	if v := rail.Voltage(); v != clean {
+		t.Errorf("voltage after hook removal = %v, want %v", v, clean)
+	}
+}
+
+func TestSetDisturbanceAppliesWhenStabilizerDisabled(t *testing.T) {
+	rail := mkRail(t)
+	reg, err := NewRegulator(RegulatorConfig{Rail: rail, Band: usBand, Disabled: true})
+	if err != nil {
+		t.Fatalf("NewRegulator: %v", err)
+	}
+	const dt = 100 * time.Microsecond
+	reg.Step(dt, dt)
+	clean := rail.Voltage()
+	reg.SetDisturbance(func(time.Duration) float64 { return -0.02 })
+	reg.Step(2*dt, dt)
+	if got, want := rail.Voltage(), clean-0.02; math.Abs(got-want) > 1e-12 {
+		t.Errorf("unstabilized disturbed voltage = %v, want %v", got, want)
+	}
+}

@@ -98,6 +98,13 @@ type Regulator struct {
 
 	prevCurrent float64
 	lastDrop    float64 // raw (pre-clamp) drop of the last tick, for tests
+
+	// disturb, when set, returns an additive output-voltage offset for
+	// the current tick — the fault-injection layer's regulator
+	// transient (load step, VRM phase glitch). The offset is added on
+	// top of the clamped regulated value, so transients can momentarily
+	// escape the stabilizer band like a real VRM excursion.
+	disturb func(now time.Duration) float64
 }
 
 // NewRegulator validates cfg and returns a regulator.
@@ -137,15 +144,24 @@ func (r *Regulator) SetEnabled(on bool) { r.enabled = on }
 // what a co-resident crafted sensor on an ideal shared PDN would see.
 func (r *Regulator) RawDrop() float64 { return r.lastDrop }
 
+// SetDisturbance installs (or, with nil, removes) the per-tick output
+// transient hook used by the fault-injection layer.
+func (r *Regulator) SetDisturbance(f func(now time.Duration) float64) { r.disturb = f }
+
 // Step implements sim.Steppable.
 func (r *Regulator) Step(now, dt time.Duration) {
 	i := r.rail.Current()
 	r.lastDrop = r.drop.Drop(i, r.prevCurrent, dt)
 	r.prevCurrent = i
 
+	var transient float64
+	if r.disturb != nil {
+		transient = r.disturb(now)
+	}
+
 	nominal := r.rail.NominalVoltage()
 	if !r.enabled {
-		v := nominal - r.lastDrop
+		v := nominal - r.lastDrop + transient
 		if v < 0 {
 			v = 0
 		}
@@ -153,8 +169,13 @@ func (r *Regulator) Step(now, dt time.Duration) {
 		return
 	}
 	// Stabilized: the VRM compensates the PDN drop, leaving only its
-	// programmed load-line droop, and the output is guaranteed to stay
-	// inside the band.
-	v := nominal - r.loadLine*i
-	r.rail.SetVoltage(r.band.Clamp(v))
+	// programmed load-line droop, and the steady-state output is
+	// guaranteed to stay inside the band. Injected transients add on
+	// top of the regulated value, so they can momentarily escape the
+	// band — the excursion a real VRM exhibits on a load step.
+	v := r.band.Clamp(nominal-r.loadLine*i) + transient
+	if v < 0 {
+		v = 0
+	}
+	r.rail.SetVoltage(v)
 }

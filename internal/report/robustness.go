@@ -1,0 +1,56 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// RenderRobustness writes the accuracy-vs-fault-rate curve: one row per
+// intensity with the three headline metrics and the absorbed fault and
+// retry counts, so degradation can be read against the injected load.
+func RenderRobustness(w io.Writer, res *core.RobustnessResult) error {
+	tab := &Table{
+		Title: fmt.Sprintf("Robustness under the %q fault profile (accuracy vs fault rate)",
+			res.Profile),
+		Headers: []string{"Intensity", "Applic. Pearson", "Fingerprint Top-1",
+			"Covert BER", "Faults injected", "Retries", "Gaps"},
+	}
+	for _, p := range res.Points {
+		var total int64
+		kinds := make([]string, 0, len(p.InjectedFaults))
+		for k, v := range p.InjectedFaults {
+			total += v
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		detail := "-"
+		if len(kinds) > 0 {
+			parts := make([]string, len(kinds))
+			for i, k := range kinds {
+				parts[i] = fmt.Sprintf("%s:%d", k, p.InjectedFaults[k])
+			}
+			detail = fmt.Sprintf("%d (%s)", total, strings.Join(parts, " "))
+		}
+		tab.AddRow(
+			fmt.Sprintf("%.2f", p.Intensity),
+			fmt.Sprintf("%.3f", p.ApplicabilityPearson),
+			fmt.Sprintf("%.3f", p.FingerprintTop1),
+			fmt.Sprintf("%.3f", p.CovertBER),
+			detail,
+			fmt.Sprintf("%d", p.Retries),
+			fmt.Sprintf("%d", p.Gaps),
+		)
+	}
+	if err := tab.Render(w); err != nil {
+		return err
+	}
+	if res.Classes > 1 {
+		fmt.Fprintf(w, "random-guess baseline: %.4f (%d classes)\n",
+			1/float64(res.Classes), res.Classes)
+	}
+	return nil
+}

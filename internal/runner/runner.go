@@ -31,6 +31,7 @@ import (
 	"hash/fnv"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
@@ -99,9 +100,14 @@ type PanicError struct {
 	Stack string
 }
 
-// Error implements the error interface.
+// Error implements the error interface. The goroutine stack rides
+// along: a campaign surfaces shard panics only through this error, so
+// without it the crash site would be unrecoverable.
 func (p *PanicError) Error() string {
-	return fmt.Sprintf("runner: shard %q panicked: %v", p.Key, p.Value)
+	if p.Stack == "" {
+		return fmt.Sprintf("runner: shard %q panicked: %v", p.Key, p.Value)
+	}
+	return fmt.Sprintf("runner: shard %q panicked: %v\n%s", p.Key, p.Value, strings.TrimRight(p.Stack, "\n"))
 }
 
 // Config parameterizes a campaign.

@@ -263,3 +263,32 @@ func TestShardErrorsDoNotStopCampaign(t *testing.T) {
 		t.Errorf("FirstErr = %v, want sentinel", err)
 	}
 }
+
+// TestPanicErrorTextCarriesStack pins that the shard error surfaces the
+// goroutine stack of the panic site, so a crash inside a parallel
+// experiment is debuggable from the top-level error alone.
+func TestPanicErrorTextCarriesStack(t *testing.T) {
+	boom := func() { panic("deep crash") }
+	res, err := Map(context.Background(), Config{Workers: 2}, "stk", keys(2),
+		func(ctx context.Context, info Info) (int, error) {
+			if info.Index == 1 {
+				boom()
+			}
+			return 0, nil
+		})
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	ferr := FirstErr(res)
+	if ferr == nil {
+		t.Fatal("no shard error for a panicking shard")
+	}
+	text := ferr.Error()
+	if !strings.Contains(text, "goroutine") || !strings.Contains(text, "runner_test.go") {
+		t.Errorf("error text lacks the panic stack:\n%s", text)
+	}
+	var pe *PanicError
+	if !errors.As(ferr, &pe) || pe.Stack == "" {
+		t.Errorf("FirstErr did not preserve the PanicError stack: %v", ferr)
+	}
+}

@@ -76,6 +76,13 @@ func (n *node) isDir() bool { return n.attr == nil }
 type FS struct {
 	root *node
 
+	// readFault, when set, is consulted on every permitted attribute
+	// read before the Show callback runs; a non-nil return is surfaced
+	// to the reader in place of the contents. It models the transient
+	// EAGAIN/EIO failures real hwmon reads exhibit on PetaLinux (the
+	// fault-injection layer installs it; see internal/faults).
+	readFault func(path string) error
+
 	// Read-side observability: every attacker measurement is a sysfs
 	// read, so these counters are the ground truth of how much sensor
 	// data the unprivileged side actually obtained. attrReads caches
@@ -88,6 +95,7 @@ type FS struct {
 	obsDenied  *obs.Counter
 	obsWrites  *obs.Counter
 	obsMissing *obs.Counter
+	obsFaulted *obs.Counter
 }
 
 // New returns an empty tree.
@@ -99,7 +107,26 @@ func New() *FS {
 		obsDenied:  obs.C("sysfs.denied"),
 		obsWrites:  obs.C("sysfs.writes"),
 		obsMissing: obs.C("sysfs.not_exist"),
+		obsFaulted: obs.C("sysfs.read_faults"),
 	}
+}
+
+// SetReadFault installs (or, with nil, removes) the transient-read-
+// failure hook. The hook runs after permission checks succeed, exactly
+// where a real sysfs show() method can fail with EAGAIN or EIO, and
+// applies to ReadFile and to reads through the io/fs view alike.
+func (f *FS) SetReadFault(hook func(path string) error) { f.readFault = hook }
+
+// injectReadFault runs the hook for one permitted read.
+func (f *FS) injectReadFault(p string) error {
+	if f.readFault == nil {
+		return nil
+	}
+	if err := f.readFault(p); err != nil {
+		f.obsFaulted.Inc()
+		return err
+	}
+	return nil
 }
 
 // countRead records one successful attribute read of n bytes.
@@ -203,6 +230,33 @@ func (f *FS) AddAttr(p string, a Attr) error {
 	return nil
 }
 
+// Remove deletes an attribute file or a whole directory subtree —
+// the disappearing half of a hotplug event. Removing the root is
+// rejected; removing a missing path reports fs.ErrNotExist.
+func (f *FS) Remove(p string) error {
+	parts, err := splitPath(p)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("sysfs: cannot remove root")
+	}
+	dir := strings.Join(parts[:len(parts)-1], "/")
+	parent, err := f.resolve(dir)
+	if err != nil {
+		return err
+	}
+	name := parts[len(parts)-1]
+	if !parent.isDir() {
+		return fmt.Errorf("sysfs: %s: not a directory", dir)
+	}
+	if _, ok := parent.children[name]; !ok {
+		return fmt.Errorf("sysfs: %s: %w", p, fs.ErrNotExist)
+	}
+	delete(parent.children, name)
+	return nil
+}
+
 // SetMode changes the permission bits of an existing attribute; this is
 // the mitigation hook (Sec. V: restrict sensor access to root).
 func (f *FS) SetMode(p string, mode fs.FileMode) error {
@@ -233,6 +287,9 @@ func (f *FS) ReadFile(c Cred, p string) (string, error) {
 	if !readable(c, n.attr.Mode) {
 		f.obsDenied.Inc()
 		return "", fmt.Errorf("sysfs: read %s: %w", p, fs.ErrPermission)
+	}
+	if err := f.injectReadFault(p); err != nil {
+		return "", fmt.Errorf("sysfs: read %s: %w", p, err)
 	}
 	out, err := n.attr.Show()
 	if err == nil {
@@ -328,6 +385,9 @@ func (v *view) Open(name string) (fs.File, error) {
 	if !readable(v.cred, n.attr.Mode) {
 		v.fsys.obsDenied.Inc()
 		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrPermission}
+	}
+	if err := v.fsys.injectReadFault(name); err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
 	}
 	content, err := n.attr.Show()
 	if err != nil {

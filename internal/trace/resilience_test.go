@@ -1,0 +1,284 @@
+package trace
+
+import (
+	"errors"
+	"io/fs"
+	"testing"
+	"time"
+)
+
+// The recorder's resilient mode: with a RetryPolicy installed, probe
+// failures retry with backoff in recorded time, unrecoverable samples
+// become NaN gaps, and only fatal errors (or a dead channel) stick.
+
+const resInterval = time.Millisecond
+
+// drive steps the recorder like the sim engine would, dt = interval/10.
+func drive(r *Recorder, d time.Duration) {
+	dt := resInterval / 10
+	for now := dt; now <= d; now += dt {
+		r.Step(now, dt)
+	}
+}
+
+func alwaysTransient(error) bool { return true }
+
+func TestRecorderRetriesTransientFailures(t *testing.T) {
+	calls := 0
+	probe := func() (float64, error) {
+		calls++
+		if calls == 1 {
+			return 0, errors.New("EAGAIN")
+		}
+		return float64(calls), nil
+	}
+	r, err := NewRecorder(resInterval, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetPolicy(&RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: resInterval / 10,
+		Transient:   alwaysTransient,
+	})
+	drive(r, 5*resInterval)
+	tr, err := r.Trace()
+	if err != nil {
+		t.Fatalf("sticky error after recoverable failure: %v", err)
+	}
+	if tr.Gaps() != 0 {
+		t.Errorf("%d gaps recorded, want 0 (the retry should have recovered)", tr.Gaps())
+	}
+	if len(tr.Samples) == 0 {
+		t.Fatal("no samples recorded")
+	}
+}
+
+func TestRecorderExhaustedRetriesBecomeGap(t *testing.T) {
+	fail := true
+	probe := func() (float64, error) {
+		if fail {
+			return 0, errors.New("EIO")
+		}
+		return 1, nil
+	}
+	r, err := NewRecorder(resInterval, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retries, gaps int
+	r.SetPolicy(&RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: resInterval / 10,
+		Transient:   alwaysTransient,
+		OnRetry:     func() { retries++ },
+		OnGap:       func() { gaps++ },
+	})
+	drive(r, 2*resInterval)
+	fail = false
+	drive(r, 4*resInterval) // note: drive restarts `now` at dt; state carries over
+	tr, err := r.Trace()
+	if err != nil {
+		t.Fatalf("sticky error: %v", err)
+	}
+	if tr.Gaps() == 0 {
+		t.Error("no gap recorded for the exhausted sample")
+	}
+	if gaps != tr.Gaps() {
+		t.Errorf("OnGap fired %d times for %d gaps", gaps, tr.Gaps())
+	}
+	if retries == 0 {
+		t.Error("OnRetry never fired")
+	}
+	// Recovery: finite samples resumed after the failing stretch.
+	if len(tr.Finite()) == 0 {
+		t.Error("no finite samples after the probe recovered")
+	}
+}
+
+func TestRecorderFatalErrorSticksWithPolicy(t *testing.T) {
+	fatal := errors.New("permission denied")
+	r, err := NewRecorder(resInterval, func() (float64, error) { return 0, fatal })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetPolicy(&RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: resInterval / 10,
+		Transient:   func(err error) bool { return err.Error() == "EAGAIN" },
+	})
+	drive(r, 3*resInterval)
+	if _, err := r.Trace(); !errors.Is(err, fatal) {
+		t.Fatalf("sticky error = %v, want the fatal probe error", err)
+	}
+}
+
+func TestRecorderNilPolicyKeepsLegacyStickyBehaviour(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	r, err := NewRecorder(resInterval, func() (float64, error) {
+		calls++
+		if calls > 2 {
+			return 0, boom
+		}
+		return 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(r, 10*resInterval)
+	tr, err := r.Trace()
+	if !errors.Is(err, boom) {
+		t.Fatalf("sticky error = %v, want boom", err)
+	}
+	if len(tr.Samples) != 2 || calls != 3 {
+		t.Errorf("recorded %d samples over %d calls; legacy mode must stop at the first error", len(tr.Samples), calls)
+	}
+}
+
+func TestRecorderResolveRecoversFromHotplug(t *testing.T) {
+	gone := true
+	r, err := NewRecorder(resInterval, func() (float64, error) { return 0, fs.ErrNotExist })
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolves := 0
+	r.SetPolicy(&RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: resInterval / 10,
+		Transient:   func(error) bool { return false },
+		Resolve: func() (func() (float64, error), error) {
+			resolves++
+			gone = false
+			return func() (float64, error) { return 42, nil }, nil
+		},
+	})
+	drive(r, 3*resInterval)
+	tr, err := r.Trace()
+	if err != nil {
+		t.Fatalf("sticky error after re-resolution: %v", err)
+	}
+	if resolves == 0 {
+		t.Fatal("Resolve never called for ErrNotExist")
+	}
+	if gone {
+		t.Error("probe not replaced")
+	}
+	finite := tr.Finite()
+	if len(finite) == 0 || finite[0] != 42 {
+		t.Errorf("resolved probe's samples missing: %v", tr.Samples)
+	}
+}
+
+func TestRecorderConsecutiveGapLimit(t *testing.T) {
+	r, err := NewRecorder(resInterval, func() (float64, error) { return 0, errors.New("EIO") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetPolicy(&RetryPolicy{
+		MaxAttempts:        1, // every sample becomes a gap immediately
+		BaseBackoff:        resInterval / 10,
+		MaxConsecutiveGaps: 3,
+		Transient:          alwaysTransient,
+	})
+	drive(r, 20*resInterval)
+	tr, err := r.Trace()
+	if !errors.Is(err, ErrChannelDead) {
+		t.Fatalf("sticky error = %v, want ErrChannelDead", err)
+	}
+	// The limit fires on gap 4; the recording must not have run on
+	// gathering gaps forever.
+	if got := tr.Gaps(); got != 4 {
+		t.Errorf("recorded %d gaps before declaring the channel dead, want 4", got)
+	}
+}
+
+func TestRecorderDropoutBurstRecordsGapsWithoutProbing(t *testing.T) {
+	calls := 0
+	r, err := NewRecorder(resInterval, func() (float64, error) { calls++; return 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetPolicy(&RetryPolicy{Transient: alwaysTransient})
+	r.SetFaults(&stubFaults{dropouts: []int{3}})
+	drive(r, 6*resInterval)
+	tr, err := r.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Gaps(); got != 3 {
+		t.Errorf("dropout burst recorded %d gaps, want 3", got)
+	}
+	if want := len(tr.Samples) - 3; calls != want {
+		t.Errorf("probe called %d times for %d live samples", calls, want)
+	}
+}
+
+func TestRecorderJitterDelaysSubsequentSamples(t *testing.T) {
+	mk := func(jitter time.Duration) int {
+		r, err := NewRecorder(resInterval, func() (float64, error) { return 1, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.SetPolicy(&RetryPolicy{Transient: alwaysTransient})
+		var jit []time.Duration
+		for i := 0; i < 100; i++ {
+			jit = append(jit, jitter)
+		}
+		r.SetFaults(&stubFaults{jitters: jit})
+		drive(r, 20*resInterval)
+		tr, err := r.Trace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(tr.Samples)
+	}
+	clean := mk(0)
+	jittered := mk(resInterval / 2)
+	if jittered >= clean {
+		t.Errorf("persistent jitter did not reduce the sample count: %d vs %d", jittered, clean)
+	}
+}
+
+func TestRecorderResetClearsRetryState(t *testing.T) {
+	r, err := NewRecorder(resInterval, func() (float64, error) { return 0, errors.New("EIO") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetPolicy(&RetryPolicy{MaxAttempts: 8, BaseBackoff: resInterval, Transient: alwaysTransient,
+		SampleDeadline: 100 * resInterval})
+	drive(r, 2*resInterval) // leaves a retry pending
+	r.Reset()
+	tr, err := r.Trace()
+	if err != nil || len(tr.Samples) != 0 {
+		t.Fatalf("reset left state behind: %d samples, err %v", len(tr.Samples), err)
+	}
+	drive(r, resInterval/2) // less than one interval: nothing due
+	if tr, _ := r.Trace(); len(tr.Samples) != 0 {
+		t.Errorf("pending retry survived Reset: %v", tr.Samples)
+	}
+}
+
+// stubFaults scripts dropout/jitter decisions per due sample.
+type stubFaults struct {
+	dropouts []int
+	jitters  []time.Duration
+}
+
+func (f *stubFaults) DropoutLen() int {
+	if len(f.dropouts) == 0 {
+		return 0
+	}
+	n := f.dropouts[0]
+	f.dropouts = f.dropouts[1:]
+	return n
+}
+
+func (f *stubFaults) JitterDelay(time.Duration) time.Duration {
+	if len(f.jitters) == 0 {
+		return 0
+	}
+	d := f.jitters[0]
+	f.jitters = f.jitters[1:]
+	return d
+}

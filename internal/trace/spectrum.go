@@ -11,6 +11,11 @@ import (
 // low-frequency spectrum is a compact fingerprint of a model's period
 // structure — an alternative feature set to raw resampling that is
 // invariant to where in the loop the capture started.
+//
+// NaN gaps are replaced by the finite-sample mean, so a lost sample
+// contributes nothing after mean removal but keeps the time base (and
+// thus the bin frequencies) intact. An all-gap trace yields an all-zero
+// spectrum.
 func (t *Trace) Spectrum(bins int) ([]float64, error) {
 	if bins <= 0 {
 		return nil, errors.New("trace: non-positive spectrum bins")
@@ -20,12 +25,17 @@ func (t *Trace) Spectrum(bins int) ([]float64, error) {
 		return nil, errors.New("trace: need at least two samples for a spectrum")
 	}
 	// Remove the mean so amplitude offsets (static current) do not mask
-	// the periodic structure.
-	mean := 0.0
+	// the periodic structure. Only finite samples inform the mean.
+	mean, finite := 0.0, 0
 	for _, s := range t.Samples {
-		mean += s
+		if !IsGap(s) {
+			mean += s
+			finite++
+		}
 	}
-	mean /= float64(n)
+	if finite > 0 {
+		mean /= float64(finite)
+	}
 
 	out := make([]float64, bins)
 	for k := 1; k <= bins; k++ {
@@ -34,6 +44,9 @@ func (t *Trace) Spectrum(bins int) ([]float64, error) {
 		coeff := 2 * math.Cos(w)
 		var s0, s1, s2 float64
 		for _, x := range t.Samples {
+			if IsGap(x) {
+				x = mean // a gap contributes zero after mean removal
+			}
 			s0 = (x - mean) + coeff*s1 - s2
 			s2 = s1
 			s1 = s0

@@ -14,7 +14,7 @@ if [ "$#" -gt 1 ]; then
     shift
     PACKAGES="$*"
 else
-    PACKAGES="./internal/runner ./internal/core ./internal/sim"
+    PACKAGES="./internal/runner ./internal/core ./internal/sim ./internal/faults ./internal/trace"
 fi
 
 status=0
