@@ -34,6 +34,7 @@ import (
 	"repro/internal/dpu"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/sysfs"
 )
 
@@ -297,10 +298,19 @@ func Snapshot() ObsSnapshot { return obs.Default.Snapshot() }
 func ResetMetrics() { obs.Default.Reset() }
 
 // ServeObs serves the observability endpoints (/metrics/snapshot JSON,
-// /debug/vars expvar, /debug/pprof profiling) on addr (":0" picks a
-// free port). It returns the bound address and a shutdown function.
+// /debug/vars expvar, /trace Chrome trace-event JSON, /debug/pprof
+// profiling) on addr (":0" picks a free port). It returns the bound
+// address and a shutdown function.
 func ServeObs(addr string) (bound string, shutdown func(), err error) {
 	return obs.Serve(addr, obs.Default)
+}
+
+// WriteTrace exports the current span tracer and event ring as Chrome
+// trace-event JSON (loadable in Perfetto or chrome://tracing) with one
+// track on the wall clock and one on the sim clock. Retention is
+// bounded: at most the last obs.SpanRingSize spans appear.
+func WriteTrace(w io.Writer) error {
+	return export.Write(w, obs.Default.Snapshot())
 }
 
 // ModelZoo returns the 39 DNN architectures of the fingerprinting suite.

@@ -26,10 +26,16 @@
 //	applicability              the attack loop on all 8 Table I boards
 //	covert [-bits]             PL->PS covert transmission over the sensor
 //	robustness [-profile]      accuracy-vs-fault-rate sweep under injected faults
+//	runs [-ledger]             list, filter and diff recorded run manifests
 //
 // The global -faults flag (none|flaky-sysfs|stale-sensor|noisy-sched|
 // hostile) injects deterministic sensor and scheduler faults into every
 // simulated board; -fault-intensity scales the chosen profile.
+//
+// The global -ledger flag appends a run manifest (what ran, with which
+// seed and fault profile, and the channel-quality figures it produced)
+// to a JSONL run ledger after the command; -trace-out writes a Chrome
+// trace-event timeline of the run, loadable in Perfetto.
 package main
 
 import (
@@ -45,10 +51,27 @@ import (
 	"repro/internal/faults"
 	"repro/internal/imagenet"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
+	"repro/internal/obs/ledger"
 	"repro/internal/report"
 	"repro/internal/sysfs"
 	"repro/internal/virus"
 )
+
+// runMeta carries the per-command identity the run ledger needs out of
+// each subcommand's private flag set; handlers report it via noteRun
+// right after parsing their flags.
+var runMeta struct {
+	seed    int64
+	workers int
+}
+
+// noteRun records the seed and worker count a command handler resolved
+// from its flags, for the -ledger manifest written after the command.
+func noteRun(seed int64, workers int) {
+	runMeta.seed = seed
+	runMeta.workers = workers
+}
 
 func main() {
 	// Global observability flags precede the command:
@@ -61,6 +84,8 @@ func main() {
 	obsAddr := flag.String("obs-addr", "", "serve /debug/pprof, /debug/vars and /metrics/snapshot on this address while the command runs")
 	faultsName := flag.String("faults", "none", "fault profile injected into every simulated board: "+strings.Join(faults.PresetNames(), "|"))
 	faultIntensity := flag.Float64("fault-intensity", 1, "scale factor applied to the -faults profile rates")
+	ledgerPath := flag.String("ledger", "", "append a run manifest to this JSONL run ledger after the command")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run (load in Perfetto)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -68,6 +93,7 @@ func main() {
 		os.Exit(2)
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
+	start := time.Now()
 	profile, err := parseFaults(*faultsName, *faultIntensity)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "amperebleed: %v\n", err)
@@ -115,6 +141,8 @@ func main() {
 		err = cmdDetect(args)
 	case "covert":
 		err = cmdCovert(args, profile)
+	case "runs":
+		err = cmdRuns(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -125,6 +153,38 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "amperebleed: %v\n", err)
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		if err := export.WriteFile(*traceOut, obs.Default.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "amperebleed: trace export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace timeline written to %s\n", *traceOut)
+	}
+	if *ledgerPath != "" && cmd != "runs" {
+		faultProfile := ""
+		intensity := 0.0
+		if profile != nil {
+			faultProfile = *faultsName
+			intensity = *faultIntensity
+		}
+		m := ledger.New(ledger.RunInfo{
+			Tool:           "amperebleed",
+			Command:        cmd,
+			Args:           args,
+			Board:          "zcu102",
+			Seed:           runMeta.seed,
+			FaultProfile:   faultProfile,
+			FaultIntensity: intensity,
+			Workers:        runMeta.workers,
+			Started:        start,
+			Wall:           time.Since(start),
+		}, obs.Default.Snapshot())
+		if err := ledger.Append(*ledgerPath, m); err != nil {
+			fmt.Fprintf(os.Stderr, "amperebleed: ledger: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "run manifest appended to %s\n", *ledgerPath)
 	}
 	if *obsText {
 		fmt.Println()
@@ -158,12 +218,17 @@ func usage() {
 global flags (before the command):
   -obs            print an observability snapshot (metrics, spans, events)
                   after the command completes
-  -obs-addr ADDR  serve /debug/pprof, /debug/vars (expvar) and
-                  /metrics/snapshot (JSON) on ADDR while the command runs
+  -obs-addr ADDR  serve /debug/pprof, /debug/vars (expvar), /trace
+                  (Chrome trace-event JSON) and /metrics/snapshot (JSON)
+                  on ADDR while the command runs
   -faults NAME    inject sensor/scheduler faults into every simulated
                   board: none|flaky-sysfs|stale-sensor|noisy-sched|hostile
   -fault-intensity X
                   scale the profile's rates by X (default 1)
+  -ledger FILE    append a run manifest (command, seed, fault profile,
+                  channel-quality figures) to this JSONL run ledger
+  -trace-out FILE write a Chrome trace-event timeline of the run
+                  (load in Perfetto / chrome://tracing)
 
 commands:
   boards        print the surveyed ARM-FPGA boards (Table I)
@@ -181,11 +246,51 @@ commands:
   robustness    sweep a fault profile and plot accuracy vs fault rate
   export        snapshot the simulated sysfs tree to a real directory
   detect        watch the FPGA sensor and report workload transitions
-  covert        transmit bits over the FPGA->CPU covert channel`)
+  covert        transmit bits over the FPGA->CPU covert channel
+  runs          list, filter and diff run-ledger manifests`)
 }
 
 func cmdBoards() error {
 	return report.RenderTableI(os.Stdout, board.Catalog())
+}
+
+// cmdRuns reads a run ledger and lists, filters, or diffs its
+// manifests. Indices printed by the listing address the filtered view,
+// so -diff composes with the filter flags.
+func cmdRuns(args []string) error {
+	fs := flag.NewFlagSet("runs", flag.ExitOnError)
+	path := fs.String("ledger", "runs.jsonl", "run ledger to read")
+	tool := fs.String("tool", "", "filter: tool that wrote the run (amperebleed|benchtab)")
+	command := fs.String("command", "", "filter: subcommand or experiment selector")
+	boardName := fs.String("board", "", "filter: board name")
+	prof := fs.String("profile", "", "filter: fault profile")
+	seed := fs.Int64("seed", 0, "filter: root seed (0 = any)")
+	diff := fs.String("diff", "", "diff two listed runs by index, e.g. 0,3")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ms, err := ledger.Read(*path)
+	if err != nil {
+		return err
+	}
+	ms = ledger.Select(ms, ledger.Filter{
+		Tool:         *tool,
+		Command:      *command,
+		Board:        *boardName,
+		FaultProfile: *prof,
+		Seed:         *seed,
+	})
+	if *diff == "" {
+		return report.RenderRuns(os.Stdout, ms)
+	}
+	var i, j int
+	if _, err := fmt.Sscanf(*diff, "%d,%d", &i, &j); err != nil {
+		return fmt.Errorf("bad -diff %q (want two indices, e.g. 0,3)", *diff)
+	}
+	if i < 0 || j < 0 || i >= len(ms) || j >= len(ms) {
+		return fmt.Errorf("-diff indices %d,%d outside the %d filtered run(s)", i, j, len(ms))
+	}
+	return report.RenderRunDiff(os.Stdout, ms[i], ms[j])
 }
 
 func cmdSensors(args []string) error {
@@ -194,6 +299,7 @@ func cmdSensors(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	noteRun(*seed, 0)
 	b, err := board.NewZCU102(board.Config{Seed: *seed})
 	if err != nil {
 		return err
@@ -237,6 +343,7 @@ func cmdSurvey(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	noteRun(*seed, 0)
 	b, err := board.NewZCU102(board.Config{Seed: *seed})
 	if err != nil {
 		return err
@@ -297,6 +404,7 @@ func cmdWatch(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	noteRun(*seed, 0)
 	b, err := board.NewZCU102(board.Config{Seed: *seed})
 	if err != nil {
 		return err
@@ -366,6 +474,7 @@ func cmdCharacterize(args []string, profile *faults.Profile) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	noteRun(*seed, *parallel)
 	res, err := core.Characterize(core.CharacterizeConfig{
 		Seed:              *seed,
 		Levels:            *levels,
@@ -394,6 +503,7 @@ func cmdFingerprint(args []string, profile *faults.Profile) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	noteRun(*seed, *parallel)
 	cfg := core.FingerprintConfig{
 		Seed:           *seed,
 		TracesPerModel: *traces,
@@ -458,6 +568,7 @@ func cmdRSA(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	noteRun(*seed, 0)
 	res, err := core.RSAHammingWeight(core.RSAConfig{
 		Seed:           *seed,
 		Samples:        *samples,
@@ -510,6 +621,7 @@ func cmdLeakage(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	noteRun(*seed, 0)
 	res, err := core.AssessRSALeakage(core.LeakageConfig{
 		Seed:              *seed,
 		SamplesPerSession: *samples,
@@ -535,6 +647,7 @@ func cmdApplicability(args []string, profile *faults.Profile) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	noteRun(*seed, *parallel)
 	rows, err := core.Applicability(core.ApplicabilityConfig{
 		Seed:        *seed,
 		Parallelism: *parallel,
@@ -559,6 +672,7 @@ func cmdRobustness(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	noteRun(*seed, *parallel)
 	cfg := core.RobustnessConfig{
 		Seed:           *seed,
 		Profile:        *prof,
@@ -592,6 +706,7 @@ func cmdExport(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	noteRun(*seed, 0)
 	b, err := board.NewZCU102(board.Config{Seed: *seed})
 	if err != nil {
 		return err
@@ -615,6 +730,7 @@ func cmdDetect(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	noteRun(*seed, 0)
 	b, err := board.NewZCU102(board.Config{Seed: *seed})
 	if err != nil {
 		return err
@@ -675,6 +791,7 @@ func cmdCovert(args []string, profile *faults.Profile) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	noteRun(*seed, *parallel)
 	res, err := core.CovertTransmit(core.CovertConfig{
 		Seed:           *seed,
 		PayloadBits:    *bits,
@@ -697,6 +814,7 @@ func cmdMitigate(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	noteRun(*seed, 0)
 	res, err := core.Mitigation(*seed)
 	if err != nil {
 		return err

@@ -15,12 +15,20 @@
 // artifact (the obs metrics snapshot plus derived engine throughput and
 // attacker sample-rate percentiles), so successive BENCH_*.json files
 // track the simulator's performance trajectory across changes.
+//
+// -repeat N runs the selected experiments N times (experiment output is
+// printed once; later repeats only feed the artifact statistics), and
+// -baseline FILE -compare renders a benchstat-style report against an
+// earlier artifact. The comparison always gates hard on deterministic
+// counter drift — for a fixed seed the simulation must execute exactly
+// the same work — while wall-clock rates are report-only unless
+// -regress-pct sets a threshold.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -30,52 +38,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
+	"repro/internal/obs/ledger"
+	"repro/internal/perf"
 	"repro/internal/report"
 )
-
-// parallelBench compares the sharded runner against the serial path on
-// the cross-board applicability sweep: the same shard set executed with
-// one worker and with N, with aggregate engine throughput for each. The
-// rows are bit-identical by construction (the runner derives every
-// shard's seed from the campaign key, not the schedule), so the two
-// runs differ only in wall clock.
-type parallelBench struct {
-	// Workers of the parallel run (the -parallel flag, or GOMAXPROCS).
-	Workers int `json:"workers"`
-	// SerialTicksPerSec is the sweep's engine throughput at one worker.
-	SerialTicksPerSec float64 `json:"serial_ticks_per_sec"`
-	// ParallelTicksPerSec is the throughput at Workers workers.
-	ParallelTicksPerSec float64 `json:"parallel_ticks_per_sec"`
-	// Speedup is ParallelTicksPerSec / SerialTicksPerSec. On a
-	// single-CPU host this hovers near 1.0; it only reflects the
-	// hardware the artifact was produced on, so it is reported, never
-	// asserted.
-	Speedup float64 `json:"speedup"`
-}
-
-// perfArtifact is the schema of the -json output.
-type perfArtifact struct {
-	// Experiment is the -exp selector the artifact covers.
-	Experiment string `json:"experiment"`
-	// Seed is the root seed.
-	Seed int64 `json:"seed"`
-	// WallSeconds is the total wall-clock runtime.
-	WallSeconds float64 `json:"wall_seconds"`
-	// SimTicks is the number of engine ticks executed across all boards.
-	SimTicks int64 `json:"sim_ticks"`
-	// TicksPerSec is SimTicks over WallSeconds (aggregate engine
-	// throughput; parallel boards push it above one engine's rate).
-	TicksPerSec float64 `json:"ticks_per_sec"`
-	// SimWallRatio is total simulated time over total in-engine wall
-	// time: how much faster than real time the simulation ran.
-	SimWallRatio float64 `json:"sim_wall_ratio"`
-	// SampleRate summarizes the attacker's achieved sampling rate (Hz).
-	SampleRate obs.HistogramStat `json:"attacker_sample_rate_hz"`
-	// Parallel is the serial-vs-parallel cross-board sweep comparison.
-	Parallel *parallelBench `json:"parallel,omitempty"`
-	// Obs is the full metrics snapshot.
-	Obs obs.Snapshot `json:"obs"`
-}
 
 func main() {
 	var (
@@ -87,135 +54,18 @@ func main() {
 		jsonOut    = flag.String("json", "", "write a JSON perf artifact (obs snapshot + derived rates), e.g. BENCH_obs.json")
 		parallel   = flag.Int("parallel", 0, "workers for sharded experiments (0 = GOMAXPROCS; results are identical for any worker count)")
 		faultsName = flag.String("faults", "none", "fault profile injected into every simulated board: "+strings.Join(faults.PresetNames(), "|"))
+		repeat     = flag.Int("repeat", 1, "run the experiments this many times for rate statistics (output printed once)")
+		baseline   = flag.String("baseline", "", "baseline perf artifact (BENCH_*.json) for -compare")
+		compare    = flag.Bool("compare", false, "compare this run's artifact against -baseline and exit non-zero on drift/regression")
+		regressPct = flag.Float64("regress-pct", 0, "fail when a wall-clock rate regresses beyond this percent (0 = rates report-only)")
+		ledgerPath = flag.String("ledger", "", "append a run manifest to this JSONL run ledger")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run (load in Perfetto)")
 	)
 	flag.Parse()
-	start := time.Now()
-	var profile *faults.Profile
-	if p, err := faults.Preset(*faultsName); err != nil {
+	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
-		os.Exit(2)
-	} else if p.Enabled() {
-		profile = &p
+		os.Exit(1)
 	}
-
-	run := func(name string, f func() error) {
-		switch *exp {
-		case name, "all":
-			if err := f(); err != nil {
-				fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
-				os.Exit(1)
-			}
-			fmt.Println()
-		}
-	}
-
-	run("table1", func() error {
-		return report.RenderTableI(os.Stdout, board.Catalog())
-	})
-	run("table2", func() error {
-		return report.RenderTableII(os.Stdout, board.SensitiveSensors())
-	})
-	run("fig2", func() error {
-		n := *samples
-		if n == 0 {
-			n = 20
-		}
-		if *paperScale {
-			n = 10000
-		}
-		res, err := core.Characterize(core.CharacterizeConfig{Seed: *seed, SamplesPerLevel: n, Faults: profile})
-		if err != nil {
-			return err
-		}
-		return report.RenderFig2(os.Stdout, res)
-	})
-	run("fig3", func() error {
-		channels := []core.Channel{
-			{Label: board.SensorCPUFull, Kind: core.Current},
-			{Label: board.SensorCPULow, Kind: core.Current},
-			{Label: board.SensorFPGA, Kind: core.Current},
-			{Label: board.SensorDDR, Kind: core.Current},
-		}
-		caps, err := core.CollectDPUTraces(core.FingerprintConfig{
-			Seed:           *seed,
-			Models:         []string{"MobileNet-V1", "SqueezeNet-1.1", "EfficientNet-Lite0", "Inception-V3", "ResNet-50", "VGG-19"},
-			TracesPerModel: 1,
-			TraceDuration:  5 * time.Second,
-			Durations:      []time.Duration{5 * time.Second},
-			Folds:          1,
-			Channels:       channels,
-			Parallelism:    *parallel,
-			Faults:         profile,
-		})
-		if err != nil {
-			return err
-		}
-		return report.RenderFig3(os.Stdout, caps, channels)
-	})
-	run("table3", func() error {
-		res, err := core.Fingerprint(core.FingerprintConfig{
-			Seed:           *seed,
-			TracesPerModel: *traces,
-			Parallelism:    *parallel,
-			Faults:         profile,
-		})
-		if err != nil {
-			return err
-		}
-		return report.RenderTableIII(os.Stdout, res, core.SensitiveChannels(),
-			[]time.Duration{time.Second, 2 * time.Second, 3 * time.Second,
-				4 * time.Second, 5 * time.Second})
-	})
-	run("fig4", func() error {
-		n := *samples
-		if n == 0 {
-			n = 5000
-		}
-		if *paperScale {
-			n = 100000
-		}
-		res, err := core.RSAHammingWeight(core.RSAConfig{Seed: *seed, Samples: n})
-		if err != nil {
-			return err
-		}
-		return report.RenderFig4(os.Stdout, res)
-	})
-	run("applicability", func() error {
-		rows, err := core.Applicability(core.ApplicabilityConfig{
-			Seed:        *seed,
-			Parallelism: *parallel,
-			Faults:      profile,
-		})
-		if err != nil {
-			return err
-		}
-		return report.RenderApplicability(os.Stdout, rows)
-	})
-	run("tvla", func() error {
-		plain, err := core.AssessRSALeakage(core.LeakageConfig{Seed: *seed})
-		if err != nil {
-			return err
-		}
-		ladder, err := core.AssessRSALeakage(core.LeakageConfig{Seed: *seed, Countermeasure: true})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("TVLA fixed-vs-random over FPGA current:\n")
-		fmt.Printf("  square-and-multiply victim: t=%+.1f leaks=%v SNR=%.0f\n",
-			plain.TVLA.T, plain.TVLA.Leaks, plain.SNR)
-		fmt.Printf("  Montgomery-ladder victim:   t=%+.1f leaks=%v SNR=%.2f\n",
-			ladder.TVLA.T, ladder.TVLA.Leaks, ladder.SNR)
-		return nil
-	})
-	run("mitigation", func() error {
-		res, err := core.Mitigation(*seed)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("Mitigation (Sec. V): before: attacker reads %.3f A; after restriction: attacker error %q; root still reads %.3f A; effective=%v\n",
-			res.BeforeAttacker, res.AfterAttackerErr, res.AfterRoot, res.Effective())
-		return nil
-	})
 
 	switch *exp {
 	case "table1", "table2", "fig2", "fig3", "table3", "fig4",
@@ -225,25 +75,239 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *repeat < 1 {
+		fmt.Fprintln(os.Stderr, "benchtab: -repeat must be at least 1")
+		os.Exit(2)
+	}
+	if *compare && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchtab: -compare requires -baseline FILE")
+		os.Exit(2)
+	}
 
-	if *jsonOut != "" {
+	start := time.Now()
+	var profile *faults.Profile
+	if p, err := faults.Preset(*faultsName); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		os.Exit(2)
+	} else if p.Enabled() {
+		profile = &p
+	}
+
+	experiments := func(out io.Writer) error {
+		var firstErr error
+		run := func(name string, f func() error) {
+			if firstErr != nil {
+				return
+			}
+			switch *exp {
+			case name, "all":
+				if err := f(); err != nil {
+					firstErr = fmt.Errorf("%s: %w", name, err)
+					return
+				}
+				fmt.Fprintln(out)
+			}
+		}
+
+		run("table1", func() error {
+			return report.RenderTableI(out, board.Catalog())
+		})
+		run("table2", func() error {
+			return report.RenderTableII(out, board.SensitiveSensors())
+		})
+		run("fig2", func() error {
+			n := *samples
+			if n == 0 {
+				n = 20
+			}
+			if *paperScale {
+				n = 10000
+			}
+			res, err := core.Characterize(core.CharacterizeConfig{Seed: *seed, SamplesPerLevel: n, Faults: profile})
+			if err != nil {
+				return err
+			}
+			return report.RenderFig2(out, res)
+		})
+		run("fig3", func() error {
+			channels := []core.Channel{
+				{Label: board.SensorCPUFull, Kind: core.Current},
+				{Label: board.SensorCPULow, Kind: core.Current},
+				{Label: board.SensorFPGA, Kind: core.Current},
+				{Label: board.SensorDDR, Kind: core.Current},
+			}
+			caps, err := core.CollectDPUTraces(core.FingerprintConfig{
+				Seed:           *seed,
+				Models:         []string{"MobileNet-V1", "SqueezeNet-1.1", "EfficientNet-Lite0", "Inception-V3", "ResNet-50", "VGG-19"},
+				TracesPerModel: 1,
+				TraceDuration:  5 * time.Second,
+				Durations:      []time.Duration{5 * time.Second},
+				Folds:          1,
+				Channels:       channels,
+				Parallelism:    *parallel,
+				Faults:         profile,
+			})
+			if err != nil {
+				return err
+			}
+			return report.RenderFig3(out, caps, channels)
+		})
+		run("table3", func() error {
+			res, err := core.Fingerprint(core.FingerprintConfig{
+				Seed:           *seed,
+				TracesPerModel: *traces,
+				Parallelism:    *parallel,
+				Faults:         profile,
+			})
+			if err != nil {
+				return err
+			}
+			return report.RenderTableIII(out, res, core.SensitiveChannels(),
+				[]time.Duration{time.Second, 2 * time.Second, 3 * time.Second,
+					4 * time.Second, 5 * time.Second})
+		})
+		run("fig4", func() error {
+			n := *samples
+			if n == 0 {
+				n = 5000
+			}
+			if *paperScale {
+				n = 100000
+			}
+			res, err := core.RSAHammingWeight(core.RSAConfig{Seed: *seed, Samples: n})
+			if err != nil {
+				return err
+			}
+			return report.RenderFig4(out, res)
+		})
+		run("applicability", func() error {
+			rows, err := core.Applicability(core.ApplicabilityConfig{
+				Seed:        *seed,
+				Parallelism: *parallel,
+				Faults:      profile,
+			})
+			if err != nil {
+				return err
+			}
+			return report.RenderApplicability(out, rows)
+		})
+		run("tvla", func() error {
+			plain, err := core.AssessRSALeakage(core.LeakageConfig{Seed: *seed})
+			if err != nil {
+				return err
+			}
+			ladder, err := core.AssessRSALeakage(core.LeakageConfig{Seed: *seed, Countermeasure: true})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "TVLA fixed-vs-random over FPGA current:\n")
+			fmt.Fprintf(out, "  square-and-multiply victim: t=%+.1f leaks=%v SNR=%.0f\n",
+				plain.TVLA.T, plain.TVLA.Leaks, plain.SNR)
+			fmt.Fprintf(out, "  Montgomery-ladder victim:   t=%+.1f leaks=%v SNR=%.2f\n",
+				ladder.TVLA.T, ladder.TVLA.Leaks, ladder.SNR)
+			return nil
+		})
+		run("mitigation", func() error {
+			res, err := core.Mitigation(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "Mitigation (Sec. V): before: attacker reads %.3f A; after restriction: attacker error %q; root still reads %.3f A; effective=%v\n",
+				res.BeforeAttacker, res.AfterAttackerErr, res.AfterRoot, res.Effective())
+			return nil
+		})
+		return firstErr
+	}
+
+	// Artifacts are collected when anything downstream consumes them;
+	// each repeat starts from a clean registry so its counters describe
+	// exactly one pass (and deterministic counters are comparable
+	// between repeats and against the baseline).
+	collectArtifacts := *jsonOut != "" || *compare
+	var arts []perf.Artifact
+	for rep := 0; rep < *repeat; rep++ {
+		out := io.Writer(os.Stdout)
+		if rep > 0 {
+			out = io.Discard
+		}
+		obs.Default.Reset()
+		repStart := time.Now()
+		if err := experiments(out); err != nil {
+			fail(err)
+		}
+		if !collectArtifacts {
+			continue
+		}
 		pb, err := benchParallel(*seed, *parallel)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchtab: parallel bench: %v\n", err)
+			fail(fmt.Errorf("parallel bench: %w", err))
+		}
+		arts = append(arts, makeArtifact(*exp, *seed, time.Since(repStart), pb))
+	}
+
+	if *jsonOut != "" {
+		if err := perf.WriteFile(*jsonOut, arts); err != nil {
+			fail(err)
+		}
+		fmt.Printf("perf artifact written to %s (%d repeat(s))\n", *jsonOut, len(arts))
+	}
+	if *traceOut != "" {
+		if err := export.WriteFile(*traceOut, obs.Default.Snapshot()); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace timeline written to %s\n", *traceOut)
+	}
+	if *ledgerPath != "" {
+		faultProfile := ""
+		intensity := 0.0
+		if profile != nil {
+			faultProfile = *faultsName
+			intensity = 1
+		}
+		workers := *parallel
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		m := ledger.New(ledger.RunInfo{
+			Tool:           "benchtab",
+			Command:        *exp,
+			Args:           os.Args[1:],
+			Board:          "zcu102",
+			Seed:           *seed,
+			FaultProfile:   faultProfile,
+			FaultIntensity: intensity,
+			Workers:        workers,
+			Started:        start,
+			Wall:           time.Since(start),
+		}, obs.Default.Snapshot())
+		if err := ledger.Append(*ledgerPath, m); err != nil {
+			fail(err)
+		}
+		fmt.Printf("run manifest appended to %s\n", *ledgerPath)
+	}
+	if *compare {
+		base, err := perf.ReadFile(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		cmp, err := perf.Compare(base, arts, *regressPct)
+		if err != nil {
+			fail(err)
+		}
+		if err := report.RenderPerfComparison(os.Stdout, cmp); err != nil {
+			fail(err)
+		}
+		if cmp.Failed() {
+			fmt.Fprintln(os.Stderr, "benchtab: perf comparison FAILED")
 			os.Exit(1)
 		}
-		if err := writeArtifact(*jsonOut, *exp, *seed, time.Since(start), pb); err != nil {
-			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("perf artifact written to %s\n", *jsonOut)
 	}
 }
 
 // benchParallel runs the cross-board applicability sweep twice — once
 // on a single worker, once on the requested worker count — and measures
 // aggregate engine throughput for each from the obs sim.ticks delta.
-func benchParallel(seed int64, workers int) (*parallelBench, error) {
+func benchParallel(seed int64, workers int) (*perf.ParallelBench, error) {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -271,7 +335,7 @@ func benchParallel(seed int64, workers int) (*parallelBench, error) {
 	if err != nil {
 		return nil, err
 	}
-	pb := &parallelBench{
+	pb := &perf.ParallelBench{
 		Workers:             workers,
 		SerialTicksPerSec:   serial,
 		ParallelTicksPerSec: par,
@@ -282,17 +346,18 @@ func benchParallel(seed int64, workers int) (*parallelBench, error) {
 	return pb, nil
 }
 
-// writeArtifact snapshots the obs registry and derives the headline
+// makeArtifact snapshots the obs registry and derives the headline
 // throughput numbers the perf trajectory tracks.
-func writeArtifact(path, exp string, seed int64, wall time.Duration, pb *parallelBench) error {
+func makeArtifact(exp string, seed int64, wall time.Duration, pb *perf.ParallelBench) perf.Artifact {
 	snap := obs.Default.Snapshot()
-	art := perfArtifact{
-		Experiment:  exp,
-		Seed:        seed,
-		WallSeconds: wall.Seconds(),
-		SimTicks:    snap.Counter("sim.ticks"),
-		Parallel:    pb,
-		Obs:         snap,
+	art := perf.Artifact{
+		SchemaVersion: perf.SchemaVersion,
+		Experiment:    exp,
+		Seed:          seed,
+		WallSeconds:   wall.Seconds(),
+		SimTicks:      snap.Counter("sim.ticks"),
+		Parallel:      pb,
+		Obs:           snap,
 	}
 	if wall > 0 {
 		art.TicksPerSec = float64(art.SimTicks) / wall.Seconds()
@@ -303,15 +368,5 @@ func writeArtifact(path, exp string, seed int64, wall time.Duration, pb *paralle
 	if h, ok := snap.Histogram("attacker.sample_rate_hz"); ok {
 		art.SampleRate = h
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(art); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return art
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/board"
 	"repro/internal/faults"
+	"repro/internal/leakage"
 	"repro/internal/ro"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -57,6 +58,10 @@ type LevelReading struct {
 	PowerWatts  float64
 	// ROCount is the mean ring-oscillator count per sampling window.
 	ROCount float64
+	// CurrentSamples are the individual current reads behind CurrentAmps
+	// (finite samples only; injected faults shrink the set). They feed
+	// the sweep's leakage SNR, which treats each level as one group.
+	CurrentSamples []float64
 }
 
 // ChannelFit summarizes one channel's response across the sweep.
@@ -80,6 +85,11 @@ type CharacterizeResult struct {
 	// VariationRatio is current's relative variation over RO's — the
 	// paper reports 261×.
 	VariationRatio float64
+	// SNR is the leakage signal-to-noise ratio of the current channel
+	// with each activation level as one labelled group: between-level
+	// variance over mean within-level variance. Zero when too few
+	// samples survived faults to form at least two 2-sample groups.
+	SNR float64
 }
 
 // Channel LSBs used to express slopes (Sec. III-C).
@@ -258,6 +268,7 @@ func (rig *characterizeRig) measureLevel(level int) (LevelReading, error) {
 	ctx := context.Background()
 	var sum, got [3]float64
 	var sumR float64
+	curSamples := make([]float64, 0, rig.cfg.SamplesPerLevel)
 	kinds := []Kind{Current, Voltage, Power}
 	for s := 0; s < rig.cfg.SamplesPerLevel; s++ {
 		for j, k := range kinds {
@@ -276,6 +287,9 @@ func (rig *characterizeRig) measureLevel(level int) (LevelReading, error) {
 			}
 			sum[j] += v
 			got[j]++
+			if j == 0 {
+				curSamples = append(curSamples, v)
+			}
 		}
 		sumR += rig.bank.SampleMean()
 	}
@@ -286,11 +300,12 @@ func (rig *characterizeRig) measureLevel(level int) (LevelReading, error) {
 		sum[j] /= got[j]
 	}
 	return LevelReading{
-		ActiveGroups: level,
-		CurrentAmps:  sum[0],
-		BusVolts:     sum[1],
-		PowerWatts:   sum[2],
-		ROCount:      sumR / float64(rig.cfg.SamplesPerLevel),
+		ActiveGroups:   level,
+		CurrentAmps:    sum[0],
+		BusVolts:       sum[1],
+		PowerWatts:     sum[2],
+		ROCount:        sumR / float64(rig.cfg.SamplesPerLevel),
+		CurrentSamples: curSamples,
 	}, nil
 }
 
@@ -326,6 +341,22 @@ func fitCharacterize(readings []LevelReading) (*CharacterizeResult, error) {
 	}
 	if res.RO.RelativeVariation > 0 {
 		res.VariationRatio = res.Current.RelativeVariation / res.RO.RelativeVariation
+	}
+	// Leakage SNR of the current channel, one group per level. Faults can
+	// shrink a level below the two samples a variance needs; such levels
+	// drop out rather than aborting the sweep.
+	groups := make([][]float64, 0, len(readings))
+	for _, r := range readings {
+		if len(r.CurrentSamples) >= 2 {
+			groups = append(groups, r.CurrentSamples)
+		}
+	}
+	if len(groups) >= 2 {
+		snr, err := leakage.SNR(groups)
+		if err != nil {
+			return nil, fmt.Errorf("core: leakage snr: %w", err)
+		}
+		res.SNR = snr
 	}
 	return res, nil
 }

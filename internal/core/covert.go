@@ -10,10 +10,23 @@ import (
 
 	"repro/internal/board"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/sysfs"
 	"repro/internal/virus"
 )
+
+// Channel-quality gauges mirrored into the run ledger: the last
+// transmission's bit error rate and payload rate.
+var (
+	gaugeCovertBER = obs.G("covert.ber")
+	gaugeCovertBPS = obs.G("covert.bits_per_sec")
+)
+
+func observeCovert(r *CovertResult) {
+	gaugeCovertBER.Set(r.BER())
+	gaugeCovertBPS.Set(r.Throughput)
+}
 
 // The current channel also works as a covert channel: a sender with
 // FPGA access (a malicious bitstream, or a tenant in a future
@@ -141,7 +154,12 @@ func CovertTransmit(cfg CovertConfig) (*CovertResult, error) {
 		return nil, errors.New("core: non-positive chunk size")
 	}
 	if cfg.Parallelism == 0 {
-		return covertOnce(context.Background(), cfg, cfg.Seed, cfg.PayloadBits)
+		res, err := covertOnce(context.Background(), cfg, cfg.Seed, cfg.PayloadBits)
+		if err != nil {
+			return nil, err
+		}
+		observeCovert(res)
+		return res, nil
 	}
 
 	// Multi-channel protocol: fixed-size payload chunks, one board per
@@ -183,6 +201,7 @@ func CovertTransmit(cfg CovertConfig) (*CovertResult, error) {
 		agg.SymbolPeriod = r.SymbolPeriod
 		agg.Throughput = r.Throughput
 	}
+	observeCovert(agg)
 	return agg, nil
 }
 

@@ -426,6 +426,17 @@ func EvaluateCaptures(cfg FingerprintConfig, captures []*Capture) (*FingerprintR
 	for _, c := range captures {
 		classes[c.Model] = true
 	}
+	// Grid-mean accuracies, mirrored into the run ledger as the
+	// experiment's headline quality figures.
+	if len(out) > 0 {
+		var top1, top5 float64
+		for _, c := range out {
+			top1 += c.Top1
+			top5 += c.Top5
+		}
+		obs.G("fingerprint.top1_mean").Set(top1 / float64(len(out)))
+		obs.G("fingerprint.top5_mean").Set(top5 / float64(len(out)))
+	}
 	return &FingerprintResult{Cells: out, Captures: captures, Classes: len(classes)}, nil
 }
 

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The run ledger's channel-quality figures come straight from obs
+// gauges, so the experiments must actually publish them: a characterize
+// run must leave leakage.snr set, a covert transmission covert.ber and
+// covert.bits_per_sec, and any acquisition the trace counters.
+func TestExperimentsPublishChannelQualityGauges(t *testing.T) {
+	obs.Default.Reset()
+	t.Cleanup(obs.Default.Reset)
+
+	if _, err := Characterize(CharacterizeConfig{
+		Seed:            3,
+		Levels:          5,
+		SamplesPerLevel: 6,
+	}); err != nil {
+		t.Fatalf("characterize: %v", err)
+	}
+	snap := obs.Default.Snapshot()
+	snr, ok := snap.Gauges["leakage.snr"]
+	if !ok {
+		t.Fatal("characterize did not publish leakage.snr")
+	}
+	if snr <= 0 {
+		t.Fatalf("leakage.snr = %g, want > 0 for a clearly separated sweep", snr)
+	}
+	if _, err := CovertTransmit(CovertConfig{Seed: 3, PayloadBits: 8}); err != nil {
+		t.Fatalf("covert: %v", err)
+	}
+	snap = obs.Default.Snapshot()
+	bps, ok := snap.Gauges["covert.bits_per_sec"]
+	if !ok {
+		t.Fatal("covert transmission did not publish covert.bits_per_sec")
+	}
+	if bps <= 0 {
+		t.Fatalf("covert.bits_per_sec = %g, want > 0", bps)
+	}
+	ber, ok := snap.Gauges["covert.ber"]
+	if !ok {
+		t.Fatal("covert transmission did not publish covert.ber")
+	}
+	if ber < 0 || ber > 1 {
+		t.Fatalf("covert.ber = %g outside [0,1]", ber)
+	}
+	if snap.Counters["trace.samples_recorded"] == 0 {
+		t.Fatal("recorder did not count its samples")
+	}
+}

@@ -12,7 +12,16 @@ import (
 	"errors"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
+)
+
+// Channel-health gauges: every successful assessment records its
+// outcome so a live /metrics/snapshot (and the run ledger) shows the
+// channel's current quality without re-running the analysis.
+var (
+	gaugeSNR  = obs.G("leakage.snr")
+	gaugeTVLA = obs.G("leakage.tvla_t")
 )
 
 // TVLAThreshold is the conventional |t| bound: a channel whose
@@ -49,13 +58,16 @@ func SNR(groups [][]float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	snr := signal / noise
 	if noise == 0 {
 		if signal == 0 {
-			return 0, nil
+			snr = 0
+		} else {
+			snr = math.Inf(1)
 		}
-		return math.Inf(1), nil
 	}
-	return signal / noise, nil
+	gaugeSNR.Set(snr)
+	return snr, nil
 }
 
 // WelchT returns Welch's t-statistic between two samples (unequal
@@ -111,5 +123,6 @@ func TVLA(fixed, random []float64) (TVLAResult, error) {
 	if err != nil {
 		return TVLAResult{}, err
 	}
+	gaugeTVLA.Set(t)
 	return TVLAResult{T: t, Leaks: math.Abs(t) > TVLAThreshold}, nil
 }

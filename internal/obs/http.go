@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 )
 
 // publishOnce guards the expvar publication of the Default registry:
@@ -14,9 +15,23 @@ import (
 // handlers.
 var publishOnce sync.Once
 
+// traceExporter renders a snapshot as a Chrome trace-event JSON
+// document for the /trace endpoint. It lives here as a pluggable hook
+// because the renderer (internal/obs/export) imports this package, so
+// obs cannot import it back; export installs itself in its init.
+var traceExporter atomic.Pointer[func(Snapshot) ([]byte, error)]
+
+// SetTraceExporter installs the /trace renderer. The export package
+// calls this from init; any program importing it gets the endpoint.
+func SetTraceExporter(f func(Snapshot) ([]byte, error)) {
+	traceExporter.Store(&f)
+}
+
 // NewHandler returns the observability HTTP handler:
 //
 //	/metrics/snapshot   JSON Snapshot of the registry
+//	/trace              Chrome trace-event JSON of spans and events
+//	                    (Perfetto-loadable; 501 unless obs/export is linked in)
 //	/debug/vars         expvar (Go runtime memstats + the obs snapshot)
 //	/debug/pprof/...    net/http/pprof profiling endpoints
 //
@@ -34,6 +49,20 @@ func NewHandler(r *Registry) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		f := traceExporter.Load()
+		if f == nil {
+			http.Error(w, "trace export unavailable: internal/obs/export not linked into this binary", http.StatusNotImplemented)
+			return
+		}
+		data, err := (*f)(r.Snapshot())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,62 @@
+package ledger_test
+
+// Ledger determinism: the same experiment (seed, board, fault profile)
+// must produce byte-identical canonical manifests no matter how many
+// workers the sharded runner used — scheduling shows up only in the
+// fields Canonicalize strips. This is the durable-observability twin of
+// the runner's bit-identical-results guarantee: if it breaks, either
+// the experiment lost determinism or a wall-clock-dependent quantity
+// leaked into the manifest's measurement content.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/obs/ledger"
+)
+
+func TestManifestDeterministicAcrossWorkers(t *testing.T) {
+	profile, err := faults.Preset("flaky-sysfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for _, workers := range []int{1, 4, 16} {
+		obs.Default.Reset()
+		start := time.Now()
+		if _, err := core.Characterize(core.CharacterizeConfig{
+			Seed:            7,
+			Levels:          6,
+			SamplesPerLevel: 8,
+			Parallelism:     workers,
+			Faults:          &profile,
+		}); err != nil {
+			t.Fatalf("characterize (workers=%d): %v", workers, err)
+		}
+		m := ledger.New(ledger.RunInfo{
+			Tool:         "amperebleed",
+			Command:      "characterize",
+			Board:        "zcu102",
+			Seed:         7,
+			FaultProfile: "flaky-sysfs",
+			Workers:      workers,
+			Started:      start,
+			Wall:         time.Since(start),
+		}, obs.Default.Snapshot())
+		got, err := ledger.CanonicalJSON(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("canonical manifest at workers=%d differs:\n got %s\nwant %s", workers, got, want)
+		}
+	}
+	obs.Default.Reset()
+}

@@ -1,0 +1,81 @@
+package ledger
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Change is one field that differs between two manifests.
+type Change struct {
+	// Field is a dotted path ("figures.fingerprint_top1",
+	// "counters.sim.ticks").
+	Field string
+	// A and B are the rendered values on each side.
+	A, B string
+}
+
+// Diff compares two manifests after canonicalization, so scheduling
+// and wall-clock differences never show up — what remains is a change
+// in what was run or in what it measured ("same seed and board,
+// accuracy moved"). Changes come back sorted by field path.
+func Diff(a, b Manifest) []Change {
+	ca, cb := Canonicalize(a), Canonicalize(b)
+	var out []Change
+	str := func(field, va, vb string) {
+		if va != vb {
+			out = append(out, Change{Field: field, A: va, B: vb})
+		}
+	}
+	num := func(field string, va, vb float64) {
+		if va != vb {
+			out = append(out, Change{Field: field, A: fmt.Sprintf("%g", va), B: fmt.Sprintf("%g", vb)})
+		}
+	}
+
+	str("tool", ca.Tool, cb.Tool)
+	str("command", ca.Command, cb.Command)
+	str("board", ca.Board, cb.Board)
+	str("fault_profile", ca.FaultProfile, cb.FaultProfile)
+	num("fault_intensity", ca.FaultIntensity, cb.FaultIntensity)
+	num("seed", float64(ca.Seed), float64(cb.Seed))
+	num("schema_version", float64(ca.SchemaVersion), float64(cb.SchemaVersion))
+	num("sim_seconds", ca.SimSeconds, cb.SimSeconds)
+
+	fa, fb := ca.Figures, cb.Figures
+	num("figures.leakage_snr", fa.LeakageSNR, fb.LeakageSNR)
+	num("figures.leakage_tvla_t", fa.LeakageT, fb.LeakageT)
+	num("figures.covert_ber", fa.CovertBER, fb.CovertBER)
+	num("figures.covert_bits_per_sec", fa.CovertBitsPerSec, fb.CovertBitsPerSec)
+	num("figures.fingerprint_top1", fa.FingerprintTop1, fb.FingerprintTop1)
+	num("figures.fingerprint_top5", fa.FingerprintTop5, fb.FingerprintTop5)
+	num("figures.sample_rate.count", float64(fa.SampleRate.Count), float64(fb.SampleRate.Count))
+	num("figures.sample_rate.p50", fa.SampleRate.P50, fb.SampleRate.P50)
+	num("figures.sample_rate.p95", fa.SampleRate.P95, fb.SampleRate.P95)
+
+	keys := map[string]bool{}
+	for k := range fa.Counters {
+		keys[k] = true
+	}
+	for k := range fb.Counters {
+		keys[k] = true
+	}
+	sortedKeys := make([]string, 0, len(keys))
+	for k := range keys {
+		sortedKeys = append(sortedKeys, k)
+	}
+	sort.Strings(sortedKeys)
+	for _, k := range sortedKeys {
+		va, okA := fa.Counters[k]
+		vb, okB := fb.Counters[k]
+		switch {
+		case okA && !okB:
+			out = append(out, Change{Field: "counters." + k, A: fmt.Sprintf("%d", va), B: "(absent)"})
+		case !okA && okB:
+			out = append(out, Change{Field: "counters." + k, A: "(absent)", B: fmt.Sprintf("%d", vb)})
+		case va != vb:
+			out = append(out, Change{Field: "counters." + k, A: fmt.Sprintf("%d", va), B: fmt.Sprintf("%d", vb)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Field < out[j].Field })
+	return out
+}

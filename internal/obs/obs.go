@@ -17,6 +17,15 @@
 // a Histogram.Observe is an atomic add into a geometric bucket, and
 // instrumented code holds *Counter/*Histogram pointers so the registry
 // map is only consulted at setup time.
+//
+// Retention is bounded everywhere: histograms summarize into fixed
+// geometric buckets rather than storing samples, progress events keep
+// the most recent EventRingSize (64) entries, and completed spans keep
+// the most recent SpanRingSize (1024) entries. Older spans remain
+// visible only through the "span.<name>.{wall,sim}_ns" histograms; the
+// span ring is what the Chrome trace exporter (internal/obs/export)
+// renders, so a trace timeline covers at most the last SpanRingSize
+// spans of a run.
 package obs
 
 import (

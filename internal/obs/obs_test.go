@@ -151,12 +151,12 @@ func TestSpanWithoutClock(t *testing.T) {
 
 func TestEventsRingBounded(t *testing.T) {
 	r := NewRegistry()
-	for i := 0; i < ringSize+10; i++ {
+	for i := 0; i < EventRingSize+10; i++ {
 		r.Eventf("event %d", i)
 	}
 	evs := r.Events()
-	if len(evs) != ringSize {
-		t.Fatalf("events = %d, want %d", len(evs), ringSize)
+	if len(evs) != EventRingSize {
+		t.Fatalf("events = %d, want %d", len(evs), EventRingSize)
 	}
 	if evs[0].Msg != "event 10" || evs[len(evs)-1].Msg != "event 73" {
 		t.Fatalf("ring window = %q .. %q", evs[0].Msg, evs[len(evs)-1].Msg)

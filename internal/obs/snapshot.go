@@ -133,8 +133,18 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		}
 	}
 	if len(s.RecentSpans) > 0 {
-		fmt.Fprintf(&b, "recent spans (last %d):\n", len(s.RecentSpans))
-		for _, sp := range s.RecentSpans {
+		// The span ring retains up to SpanRingSize records for the trace
+		// exporter; the text snapshot shows only the most recent few so a
+		// long run's -obs output stays readable.
+		const textSpans = 32
+		spans := s.RecentSpans
+		if len(spans) > textSpans {
+			fmt.Fprintf(&b, "recent spans (last %d of %d retained):\n", textSpans, len(spans))
+			spans = spans[len(spans)-textSpans:]
+		} else {
+			fmt.Fprintf(&b, "recent spans (last %d):\n", len(spans))
+		}
+		for _, sp := range spans {
 			if sp.HasSim {
 				fmt.Fprintf(&b, "  %-36s wall=%-12v sim=%v\n", sp.Name,
 					sp.Wall.Round(time.Microsecond), sp.Sim)

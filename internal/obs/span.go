@@ -50,8 +50,10 @@ func (s Span) End() {
 	rec := SpanRecord{Name: s.name, EndedAt: time.Now(), Wall: wall}
 	s.reg.Histogram("span." + s.name + ".wall_ns").Observe(float64(wall.Nanoseconds()))
 	if s.clock != nil {
-		sim := s.clock.Now() - s.simStart
+		simEnd := s.clock.Now()
+		sim := simEnd - s.simStart
 		rec.Sim = sim
+		rec.SimEnd = simEnd
 		rec.HasSim = true
 		s.reg.Histogram("span." + s.name + ".sim_ns").Observe(float64(sim.Nanoseconds()))
 	}
@@ -70,8 +72,25 @@ type SpanRecord struct {
 	Wall time.Duration `json:"wall_ns"`
 	// Sim is the sim-clock duration; meaningful iff HasSim.
 	Sim time.Duration `json:"sim_ns"`
+	// SimEnd is the sim-clock timestamp at which the span ended;
+	// meaningful iff HasSim. Together with Sim it places the span on a
+	// simulated-time axis, which is what lets the trace exporter render
+	// a second, sim-clock track next to the wall-clock one.
+	SimEnd time.Duration `json:"sim_end_ns"`
 	// HasSim reports whether the span carried a simulation clock.
 	HasSim bool `json:"has_sim"`
+}
+
+// WallStart returns the wall-clock start time (EndedAt minus Wall).
+func (r SpanRecord) WallStart() time.Time { return r.EndedAt.Add(-r.Wall) }
+
+// SimStart returns the sim-clock start time (SimEnd minus Sim); zero
+// when the span carried no simulation clock.
+func (r SpanRecord) SimStart() time.Duration {
+	if !r.HasSim {
+		return 0
+	}
+	return r.SimEnd - r.Sim
 }
 
 // Event is one timestamped progress message.
@@ -82,29 +101,36 @@ type Event struct {
 	Msg string `json:"msg"`
 }
 
-// ringSize bounds the recent-span and event rings; old entries are
-// overwritten, so long experiments keep constant memory.
-const ringSize = 64
+// Ring retention: the event and span stores are fixed-size rings — old
+// entries are overwritten, so long experiments keep constant memory no
+// matter how many spans they complete. EventRingSize bounds progress
+// events; SpanRingSize bounds completed spans and is deliberately
+// larger because the trace exporter renders the retained spans as a
+// timeline, where 64 entries would cover only the tail of a run.
+const (
+	EventRingSize = 64
+	SpanRingSize  = 1024
+)
 
 type eventRing struct {
-	buf  [ringSize]Event
+	buf  [EventRingSize]Event
 	next int
 	n    int
 }
 
 func (r *eventRing) add(e Event) {
 	r.buf[r.next] = e
-	r.next = (r.next + 1) % ringSize
-	if r.n < ringSize {
+	r.next = (r.next + 1) % EventRingSize
+	if r.n < EventRingSize {
 		r.n++
 	}
 }
 
 func (r *eventRing) list() []Event {
 	out := make([]Event, 0, r.n)
-	start := (r.next - r.n + ringSize) % ringSize
+	start := (r.next - r.n + EventRingSize) % EventRingSize
 	for i := 0; i < r.n; i++ {
-		out = append(out, r.buf[(start+i)%ringSize])
+		out = append(out, r.buf[(start+i)%EventRingSize])
 	}
 	return out
 }
@@ -112,24 +138,24 @@ func (r *eventRing) list() []Event {
 func (r *eventRing) reset() { *r = eventRing{} }
 
 type spanRing struct {
-	buf  [ringSize]SpanRecord
+	buf  [SpanRingSize]SpanRecord
 	next int
 	n    int
 }
 
 func (r *spanRing) add(s SpanRecord) {
 	r.buf[r.next] = s
-	r.next = (r.next + 1) % ringSize
-	if r.n < ringSize {
+	r.next = (r.next + 1) % SpanRingSize
+	if r.n < SpanRingSize {
 		r.n++
 	}
 }
 
 func (r *spanRing) list() []SpanRecord {
 	out := make([]SpanRecord, 0, r.n)
-	start := (r.next - r.n + ringSize) % ringSize
+	start := (r.next - r.n + SpanRingSize) % SpanRingSize
 	for i := 0; i < r.n; i++ {
-		out = append(out, r.buf[(start+i)%ringSize])
+		out = append(out, r.buf[(start+i)%SpanRingSize])
 	}
 	return out
 }
@@ -137,7 +163,7 @@ func (r *spanRing) list() []SpanRecord {
 func (r *spanRing) reset() { *r = spanRing{} }
 
 // Eventf records a progress event, keeping only the most recent
-// ringSize events. Long offline phases (Fingerprint's hundreds of
+// EventRingSize events. Long offline phases (Fingerprint's hundreds of
 // captures, Applicability's board loop) emit these so a snapshot taken
 // mid-run shows where the pipeline is.
 func (r *Registry) Eventf(format string, args ...any) {

@@ -1,0 +1,66 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/perf"
+)
+
+// RenderPerfComparison writes the benchstat-style report of a perf
+// comparison: the deterministic-counter gate first (any row here is a
+// behaviour change), then the wall-clock rates with their spread.
+func RenderPerfComparison(w io.Writer, c *perf.Comparison) error {
+	if _, err := fmt.Fprintf(w, "perf comparison: experiment=%s seed=%d baseline n=%d current n=%d\n",
+		c.Experiment, c.Seed, c.BaselineN, c.CurrentN); err != nil {
+		return err
+	}
+
+	if len(c.Drift) == 0 {
+		if _, err := fmt.Fprintf(w, "deterministic counters: OK (no drift)\n"); err != nil {
+			return err
+		}
+	} else {
+		if _, err := fmt.Fprintf(w, "deterministic counters: DRIFT (%d counters changed — behaviour difference, not noise)\n",
+			len(c.Drift)); err != nil {
+			return err
+		}
+		t := &Table{Headers: []string{"counter", "baseline", "current"}}
+		for _, d := range c.Drift {
+			t.AddRow(d.Name, d.Baseline, d.Current)
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+
+	gate := "report-only"
+	if c.RegressPct > 0 {
+		gate = fmt.Sprintf("gated at %.1f%%", c.RegressPct)
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("wall-clock rates (%s):", gate),
+		Headers: []string{"metric", "baseline", "current", "delta", "verdict"},
+	}
+	for _, r := range c.Rates {
+		verdict := "~"
+		if r.Regressed {
+			verdict = "REGRESSED"
+		}
+		t.AddRow(r.Name, fmtStats(r.Baseline), fmtStats(r.Current),
+			fmt.Sprintf("%+.1f%%", r.DeltaPct), verdict)
+	}
+	return t.Render(w)
+}
+
+// fmtStats renders mean ± 95% CI, dropping the interval when a single
+// repeat makes it meaningless.
+func fmtStats(s perf.MetricStats) string {
+	if s.N == 0 {
+		return "-"
+	}
+	if s.N < 2 {
+		return fmt.Sprintf("%.4g (n=1)", s.Mean)
+	}
+	return fmt.Sprintf("%.4g ±%.2g (n=%d)", s.Mean, s.CI95, s.N)
+}

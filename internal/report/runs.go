@@ -1,0 +1,71 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/obs/ledger"
+)
+
+// RenderRuns writes the run-ledger listing: one row per manifest with
+// the run's identity and its headline channel-quality figures.
+func RenderRuns(w io.Writer, ms []ledger.Manifest) error {
+	if len(ms) == 0 {
+		_, err := fmt.Fprintln(w, "no runs recorded")
+		return err
+	}
+	t := &Table{Headers: []string{"#", "started", "tool", "command", "board",
+		"seed", "faults", "workers", "wall", "sim", "snr", "ber", "top1"}}
+	for i, m := range ms {
+		faultsCol := m.FaultProfile
+		if faultsCol == "" {
+			faultsCol = "-"
+		} else if m.FaultIntensity != 0 && m.FaultIntensity != 1 {
+			faultsCol = fmt.Sprintf("%s x%.2g", m.FaultProfile, m.FaultIntensity)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", i),
+			m.StartedAt.Format("2006-01-02 15:04:05"),
+			m.Tool,
+			m.Command,
+			m.Board,
+			fmt.Sprintf("%d", m.Seed),
+			faultsCol,
+			fmt.Sprintf("%d", m.Workers),
+			fmt.Sprintf("%.1fs", m.WallSeconds),
+			fmt.Sprintf("%.1fs", m.SimSeconds),
+			fmtFigure(m.Figures.LeakageSNR),
+			fmtFigure(m.Figures.CovertBER),
+			fmtFigure(m.Figures.FingerprintTop1),
+		)
+	}
+	return t.Render(w)
+}
+
+// fmtFigure renders an optional quality figure, blanking zeroes (the
+// experiment did not produce that figure).
+func fmtFigure(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// RenderRunDiff writes the canonical diff between two manifests: what
+// changed in the run's content, with scheduling and wall-clock noise
+// already stripped by the ledger's canonicalization.
+func RenderRunDiff(w io.Writer, a, b ledger.Manifest) error {
+	changes := ledger.Diff(a, b)
+	if len(changes) == 0 {
+		_, err := fmt.Fprintln(w, "runs are canonically identical (only scheduling/wall-clock fields differ)")
+		return err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("%d field(s) differ:", len(changes)),
+		Headers: []string{"field", "a", "b"},
+	}
+	for _, c := range changes {
+		t.AddRow(c.Field, c.A, c.B)
+	}
+	return t.Render(w)
+}

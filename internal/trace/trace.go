@@ -21,7 +21,16 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sysfs"
+)
+
+// Acquisition volume counters, shared by every recorder in the process.
+// Both are deterministic for a fixed seed and config: gaps come from the
+// seeded fault engine, not from wall-clock scheduling.
+var (
+	ctrSamples = obs.C("trace.samples_recorded")
+	ctrGaps    = obs.C("trace.gaps_recorded")
 )
 
 // Gap is the in-trace representation of a lost sample.
@@ -319,6 +328,7 @@ func (r *Recorder) attempt(now time.Duration) {
 	v, err := r.probe()
 	if err == nil {
 		r.trace.Samples = append(r.trace.Samples, v)
+		ctrSamples.Inc()
 		r.consecGaps = 0
 		r.pending = false
 		return
@@ -359,6 +369,7 @@ func (r *Recorder) attempt(now time.Duration) {
 // recordGap appends a NaN sample and applies the consecutive-gap limit.
 func (r *Recorder) recordGap() {
 	r.trace.Samples = append(r.trace.Samples, Gap)
+	ctrGaps.Inc()
 	r.consecGaps++
 	if r.policy != nil {
 		if r.policy.OnGap != nil {

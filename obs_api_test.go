@@ -1,6 +1,7 @@
 package ampere
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"testing"
@@ -75,5 +76,28 @@ func TestServeObsEndpoints(t *testing.T) {
 	pprof.Body.Close()
 	if pprof.StatusCode != http.StatusOK {
 		t.Fatalf("pprof status = %d", pprof.StatusCode)
+	}
+}
+
+// TestWriteTrace exercises the public trace export: after a run the
+// exported timeline must be valid trace-event JSON with events on it.
+func TestWriteTrace(t *testing.T) {
+	b, err := NewBoard(BoardConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run(100 * time.Millisecond)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("trace export carries no events")
 	}
 }
