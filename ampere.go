@@ -26,6 +26,7 @@
 package ampere
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -297,12 +298,17 @@ func Snapshot() ObsSnapshot { return obs.Default.Snapshot() }
 // running experiment, so call it between experiments, not during one.
 func ResetMetrics() { obs.Default.Reset() }
 
-// ServeObs serves the observability endpoints (/metrics/snapshot JSON,
+// ServeObs serves the observability endpoints (/metrics OpenMetrics
+// text, /metrics/stream SSE, /metrics/snapshot JSON, /healthz,
 // /debug/vars expvar, /trace Chrome trace-event JSON, /debug/pprof
 // profiling) on addr (":0" picks a free port). It returns the bound
-// address and a shutdown function.
-func ServeObs(addr string) (bound string, shutdown func(), err error) {
-	return obs.Serve(addr, obs.Default)
+// address and a shutdown function. The server stops when ctx is
+// cancelled or shutdown is called, whichever comes first; either way
+// in-flight handlers (including live /metrics/stream feeds) are
+// drained gracefully rather than the listener goroutine leaking for
+// the process lifetime.
+func ServeObs(ctx context.Context, addr string) (bound string, shutdown func(), err error) {
+	return obs.Serve(ctx, addr, obs.Default)
 }
 
 // WriteTrace exports the current span tracer and event ring as Chrome

@@ -27,6 +27,7 @@
 //	covert [-bits]             PL->PS covert transmission over the sensor
 //	robustness [-profile]      accuracy-vs-fault-rate sweep under injected faults
 //	runs [-ledger]             list, filter and diff recorded run manifests
+//	top [-addr]                live terminal dashboard of a running attack
 //
 // The global -faults flag (none|flaky-sysfs|stale-sensor|noisy-sched|
 // hostile) injects deterministic sensor and scheduler faults into every
@@ -39,6 +40,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -53,6 +55,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/export"
 	"repro/internal/obs/ledger"
+	"repro/internal/obs/olog"
 	"repro/internal/report"
 	"repro/internal/sysfs"
 	"repro/internal/virus"
@@ -81,7 +84,10 @@ func main() {
 	// -obs prints a metrics snapshot after the command; -obs-addr serves
 	// expvar, net/http/pprof, and /metrics/snapshot while it runs.
 	obsText := flag.Bool("obs", false, "print an observability snapshot after the command")
-	obsAddr := flag.String("obs-addr", "", "serve /debug/pprof, /debug/vars and /metrics/snapshot on this address while the command runs")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /metrics/stream, /healthz, /debug/pprof and /metrics/snapshot on this address while the command runs")
+	obsHold := flag.Duration("obs-hold", 0, "keep the -obs-addr server up this long after the command completes (for scraping a finished run)")
+	logLevel := flag.String("log-level", "warn", "structured log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "text", "structured log format: text|json")
 	faultsName := flag.String("faults", "none", "fault profile injected into every simulated board: "+strings.Join(faults.PresetNames(), "|"))
 	faultIntensity := flag.Float64("fault-intensity", 1, "scale factor applied to the -faults profile rates")
 	ledgerPath := flag.String("ledger", "", "append a run manifest to this JSONL run ledger after the command")
@@ -94,19 +100,40 @@ func main() {
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	start := time.Now()
+	if err := olog.Setup(*logLevel, *logFormat, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "amperebleed: %v\n", err)
+		os.Exit(2)
+	}
+	olog.SetRunID(fmt.Sprintf("%s-%d-%d", cmd, os.Getpid(), start.Unix()))
 	profile, err := parseFaults(*faultsName, *faultIntensity)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "amperebleed: %v\n", err)
 		os.Exit(2)
 	}
 	if *obsAddr != "" {
-		bound, shutdown, err := obs.Serve(*obsAddr, obs.Default)
+		serveCtx, stopServe := context.WithCancel(context.Background())
+		bound, shutdown, err := obs.Serve(serveCtx, *obsAddr, obs.Default)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "amperebleed: obs server: %v\n", err)
 			os.Exit(1)
 		}
-		defer shutdown()
-		fmt.Fprintf(os.Stderr, "obs: serving http://%s/metrics/snapshot and /debug/pprof/\n", bound)
+		// Health rules watch the run while the server is up; violations
+		// land in the structured log at warn and on /healthz.
+		watchLog := olog.L("obs.watch")
+		watcher := obs.Watch()
+		watcher.OnViolation(func(v obs.Violation) {
+			watchLog.Warn("health rule violated", "rule", v.Rule, "detail", v.Detail)
+		})
+		go watcher.Run(serveCtx, time.Second)
+		defer func() {
+			if *obsHold > 0 {
+				fmt.Fprintf(os.Stderr, "obs: holding http://%s for %v after command exit\n", bound, *obsHold)
+				time.Sleep(*obsHold)
+			}
+			stopServe()
+			shutdown()
+		}()
+		fmt.Fprintf(os.Stderr, "obs: serving http://%s/metrics (OpenMetrics), /metrics/stream (SSE), /healthz and /debug/pprof/\n", bound)
 	}
 	switch cmd {
 	case "boards":
@@ -143,6 +170,8 @@ func main() {
 		err = cmdCovert(args, profile)
 	case "runs":
 		err = cmdRuns(args)
+	case "top":
+		err = cmdTop(args, profile)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -218,9 +247,14 @@ func usage() {
 global flags (before the command):
   -obs            print an observability snapshot (metrics, spans, events)
                   after the command completes
-  -obs-addr ADDR  serve /debug/pprof, /debug/vars (expvar), /trace
-                  (Chrome trace-event JSON) and /metrics/snapshot (JSON)
-                  on ADDR while the command runs
+  -obs-addr ADDR  serve /metrics (OpenMetrics text), /metrics/stream
+                  (SSE), /healthz, /debug/pprof, /debug/vars (expvar),
+                  /trace (Chrome trace-event JSON) and /metrics/snapshot
+                  (JSON) on ADDR while the command runs
+  -obs-hold DUR   keep the -obs-addr server up DUR after the command
+                  completes, so a finished run can still be scraped
+  -log-level L    structured log level: debug|info|warn|error (warn)
+  -log-format F   structured log format: text|json (text)
   -faults NAME    inject sensor/scheduler faults into every simulated
                   board: none|flaky-sysfs|stale-sensor|noisy-sched|hostile
   -fault-intensity X
@@ -247,7 +281,10 @@ commands:
   export        snapshot the simulated sysfs tree to a real directory
   detect        watch the FPGA sensor and report workload transitions
   covert        transmit bits over the FPGA->CPU covert channel
-  runs          list, filter and diff run-ledger manifests`)
+  runs          list, filter and diff run-ledger manifests
+  top           live terminal dashboard (-addr streams from a running
+                -obs-addr server; without -addr a demo workload runs
+                in-process; -once renders a single frame and exits)`)
 }
 
 func cmdBoards() error {
@@ -409,6 +446,9 @@ func cmdWatch(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Single-board command: the engine's clock stamps every log record
+	// with the simulated time ("sim" attribute).
+	olog.SetSimClock(b.Engine())
 	if *load > 0 {
 		if err := deployVirus(b, *load); err != nil {
 			return err
@@ -735,6 +775,7 @@ func cmdDetect(args []string) error {
 	if err != nil {
 		return err
 	}
+	olog.SetSimClock(b.Engine())
 	array, err := virus.New(virus.Config{})
 	if err != nil {
 		return err

@@ -40,6 +40,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/export"
 	"repro/internal/obs/ledger"
+	"repro/internal/obs/olog"
 	"repro/internal/perf"
 	"repro/internal/report"
 )
@@ -60,12 +61,19 @@ func main() {
 		regressPct = flag.Float64("regress-pct", 0, "fail when a wall-clock rate regresses beyond this percent (0 = rates report-only)")
 		ledgerPath = flag.String("ledger", "", "append a run manifest to this JSONL run ledger")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run (load in Perfetto)")
+		logLevel   = flag.String("log-level", "warn", "structured log level: debug|info|warn|error")
+		logFormat  = flag.String("log-format", "text", "structured log format: text|json")
 	)
 	flag.Parse()
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 		os.Exit(1)
 	}
+	if err := olog.Setup(*logLevel, *logFormat, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		os.Exit(2)
+	}
+	olog.SetRunID(fmt.Sprintf("benchtab-%s-%d-%d", *exp, os.Getpid(), time.Now().Unix()))
 
 	switch *exp {
 	case "table1", "table2", "fig2", "fig3", "table3", "fig4",

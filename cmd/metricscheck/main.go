@@ -1,0 +1,103 @@
+// Command metricscheck validates an OpenMetrics text exposition with
+// the repository's own parser (internal/obs/openmetrics). It is the CI
+// smoke-test companion of the obs /metrics endpoint: scrape, validate
+// structure (TYPE metadata, counter conventions, histogram bucket
+// monotonicity, the # EOF terminator), and optionally require specific
+// families to be present.
+//
+// Usage:
+//
+//	metricscheck FILE                 # validate a saved exposition
+//	metricscheck -url http://host:port/metrics
+//	metricscheck -require sim_ticks,core_sampler_samples FILE
+//	some-scraper | metricscheck -     # validate stdin
+//
+// Exit status: 0 valid, 1 invalid or unreachable, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs/openmetrics"
+)
+
+func main() {
+	url := flag.String("url", "", "scrape this URL instead of reading a file")
+	require := flag.String("require", "", "comma-separated family names that must be present")
+	quiet := flag.Bool("q", false, "suppress the summary line (errors still print)")
+	timeout := flag.Duration("timeout", 10*time.Second, "HTTP timeout for -url")
+	flag.Parse()
+
+	var in io.ReadCloser
+	var src string
+	switch {
+	case *url != "":
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "metricscheck: -url and a file argument are mutually exclusive")
+			os.Exit(2)
+		}
+		client := &http.Client{Timeout: *timeout}
+		resp, err := client.Get(*url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+			os.Exit(1)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s: %s\n", *url, resp.Status)
+			os.Exit(1)
+		}
+		in, src = resp.Body, *url
+	case flag.NArg() == 1 && flag.Arg(0) == "-":
+		in, src = os.Stdin, "stdin"
+	case flag.NArg() == 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in, src = f, flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-url URL | FILE | -] [-require fam1,fam2]")
+		os.Exit(2)
+	}
+
+	e, err := openmetrics.Parse(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: %s: %v\n", src, err)
+		os.Exit(1)
+	}
+	if err := e.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: %s: %v\n", src, err)
+		os.Exit(1)
+	}
+	if *require != "" {
+		var missing []string
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name != "" && e.Family(name) == nil {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s: missing required families: %s (have: %s)\n",
+				src, strings.Join(missing, ", "), strings.Join(e.Names(), ", "))
+			os.Exit(1)
+		}
+	}
+	if !*quiet {
+		samples := 0
+		for _, f := range e.Families {
+			samples += len(f.Samples)
+		}
+		fmt.Printf("%s: valid OpenMetrics exposition: %d families, %d samples\n",
+			src, len(e.Families), samples)
+	}
+}

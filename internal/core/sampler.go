@@ -11,6 +11,7 @@ import (
 	"repro/internal/board"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/olog"
 	"repro/internal/trace"
 )
 
@@ -23,6 +24,14 @@ var (
 	cGaps       = obs.C("core.sampler.gaps")
 	cReresolves = obs.C("core.sampler.reresolves")
 	cBackoffNs  = obs.C("core.sampler.backoff_ns")
+	// gConsecGaps tracks the current consecutive-gap run length of the
+	// most recently gapping sampler; the obs.Watch consecutive-gap
+	// ceiling rule reads it to flag a sampler that has stopped
+	// delivering data entirely (as opposed to absorbing scattered
+	// faults, which the gap-ratio rule covers).
+	gConsecGaps = obs.G("core.sampler.consecutive_gaps")
+
+	samplerLog = olog.L("core.sampler")
 )
 
 // ErrSampleLost marks a sample the resilient sampling layer gave up on
@@ -60,6 +69,7 @@ type Sampler struct {
 	faults   trace.SampleFaults
 
 	dropoutLeft int
+	consecGaps  int
 }
 
 // NewSampler resolves the channel through unprivileged discovery and
@@ -110,10 +120,30 @@ func (s *Sampler) Sample(ctx context.Context) (float64, error) {
 		// The sampling task was descheduled for this interval: the time
 		// passed, but no read happened.
 		s.dropoutLeft--
-		cGaps.Inc()
+		s.gap(ctx, "dropout")
 		return math.NaN(), ErrSampleLost
 	}
 	return s.Read(ctx)
+}
+
+// gap records one lost sample and advances the consecutive-gap run the
+// watch rules monitor.
+func (s *Sampler) gap(ctx context.Context, cause string) {
+	cGaps.Inc()
+	s.consecGaps++
+	gConsecGaps.Set(float64(s.consecGaps))
+	samplerLog.DebugContext(ctx, "sample lost",
+		"channel", s.ch.Label, "kind", string(s.ch.Kind),
+		"cause", cause, "consecutive", s.consecGaps)
+}
+
+// good ends the consecutive-gap run on a successful read.
+func (s *Sampler) good() {
+	cSamples.Inc()
+	if s.consecGaps != 0 {
+		s.consecGaps = 0
+		gConsecGaps.Set(0)
+	}
 }
 
 // Read reads the channel now, with retry but without advancing the
@@ -129,7 +159,7 @@ func (s *Sampler) Read(ctx context.Context) (float64, error) {
 		}
 		v, err := s.probe()
 		if err == nil {
-			cSamples.Inc()
+			s.good()
 			return v, nil
 		}
 		transient := s.policy.Transient != nil && s.policy.Transient(err)
@@ -140,6 +170,8 @@ func (s *Sampler) Read(ctx context.Context) (float64, error) {
 			if probe, rerr := s.attacker.Probe(s.ch); rerr == nil {
 				s.probe = probe
 				cReresolves.Inc()
+				samplerLog.DebugContext(ctx, "channel re-resolved after hotplug",
+					"channel", s.ch.Label, "kind", string(s.ch.Kind))
 			}
 			transient = true
 		}
@@ -148,7 +180,7 @@ func (s *Sampler) Read(ctx context.Context) (float64, error) {
 		}
 		cRetries.Inc()
 		if attempt >= s.policy.MaxAttempts || spent+backoff > s.policy.SampleDeadline {
-			cGaps.Inc()
+			s.gap(ctx, fmt.Sprintf("retries exhausted after %d attempts: %v", attempt, err))
 			return math.NaN(), ErrSampleLost
 		}
 		// Back off in simulated time: the board keeps running while the

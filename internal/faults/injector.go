@@ -9,9 +9,15 @@ import (
 	"repro/internal/hwmon"
 	"repro/internal/ina226"
 	"repro/internal/obs"
+	"repro/internal/obs/olog"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// log records the structural fault events (hotplug renumbers, regulator
+// excursions, dropout bursts) at debug level; the per-read faults stay
+// counter-only — at hostile rates they would drown any log.
+var log = olog.L("faults")
 
 // Per-kind injection counters. They live in the process-wide registry
 // so the robustness experiments can report exactly how much abuse each
@@ -140,7 +146,9 @@ func (s *samplerFaults) DropoutLen() int {
 		n = 1
 	}
 	cDropout.Inc()
-	return 1 + s.rng.Intn(n)
+	k := 1 + s.rng.Intn(n)
+	log.Debug("dropout burst injected", "intervals", k)
+	return k
 }
 
 // SamplerFaults returns the scheduler fault hook for one sampling loop
@@ -188,6 +196,7 @@ func (in *Injector) RegulatorDisturbance(rail string) func(now time.Duration) fl
 			}
 			amp = a
 			cRegTransient.Inc()
+			log.Debug("regulator transient injected", "rail", rail, "volts", a)
 		}
 		return amp
 	}
@@ -211,6 +220,7 @@ func (in *Injector) HotplugStepper(hw *hwmon.Subsystem) sim.Steppable {
 		shift := 1 + rng.Intn(4)
 		if err := hw.Renumber(shift); err == nil {
 			cHotplug.Inc()
+			log.Debug("hwmon hotplug renumber injected", "shift", shift, "sim", now)
 		}
 	})
 }

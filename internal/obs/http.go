@@ -1,13 +1,16 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // publishOnce guards the expvar publication of the Default registry:
@@ -27,16 +30,33 @@ func SetTraceExporter(f func(Snapshot) ([]byte, error)) {
 	traceExporter.Store(&f)
 }
 
+// getOnly wraps a read-only endpoint: non-GET/HEAD methods get 405 with
+// an Allow header instead of silently executing.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed (read-only endpoint)", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, req)
+	}
+}
+
 // NewHandler returns the observability HTTP handler:
 //
+//	/metrics            OpenMetrics/Prometheus text exposition
+//	/metrics/stream     SSE feed of JSON snapshots (?interval=500ms)
 //	/metrics/snapshot   JSON Snapshot of the registry
+//	/healthz            watch-rule verdict (200 ok / 503 with violations)
 //	/trace              Chrome trace-event JSON of spans and events
 //	                    (Perfetto-loadable; 501 unless obs/export is linked in)
 //	/debug/vars         expvar (Go runtime memstats + the obs snapshot)
 //	/debug/pprof/...    net/http/pprof profiling endpoints
 //
-// The handler is mounted on its own mux so importing this package never
-// touches http.DefaultServeMux.
+// All registry endpoints are GET/HEAD-only (405 otherwise) and set
+// explicit Content-Type headers. The handler is mounted on its own mux
+// so importing this package never touches http.DefaultServeMux.
 func NewHandler(r *Registry) http.Handler {
 	if r == Default {
 		publishOnce.Do(func() {
@@ -44,13 +64,36 @@ func NewHandler(r *Registry) http.Handler {
 		})
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics/snapshot", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+	mux.HandleFunc("/metrics", getOnly(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", OpenMetricsContentType)
+		_ = r.WriteOpenMetrics(w)
+	}))
+	mux.HandleFunc("/metrics/stream", getOnly(streamHandler(r)))
+	mux.HandleFunc("/metrics/snapshot", getOnly(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Snapshot())
-	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+	}))
+	mux.HandleFunc("/healthz", getOnly(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		watcher := r.health.Load()
+		if watcher == nil {
+			fmt.Fprintln(w, "ok (no watch rules installed)")
+			return
+		}
+		violations := watcher.Evaluate()
+		if len(violations) == 0 {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "unhealthy: %d rule(s) violated\n", len(violations))
+		for _, v := range violations {
+			fmt.Fprintf(w, "  %s: %s\n", v.Rule, v.Detail)
+		}
+	}))
+	mux.HandleFunc("/trace", getOnly(func(w http.ResponseWriter, req *http.Request) {
 		f := traceExporter.Load()
 		if f == nil {
 			http.Error(w, "trace export unavailable: internal/obs/export not linked into this binary", http.StatusNotImplemented)
@@ -61,9 +104,9 @@ func NewHandler(r *Registry) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_, _ = w.Write(data)
-	})
+	}))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -73,17 +116,50 @@ func NewHandler(r *Registry) http.Handler {
 	return mux
 }
 
+// ShutdownGrace bounds how long Serve's shutdown waits for in-flight
+// handlers to drain before closing their connections.
+const ShutdownGrace = 2 * time.Second
+
 // Serve starts the observability server on addr (e.g. "localhost:6060";
 // ":0" picks a free port) and returns the bound address and a shutdown
-// function. The server runs until shutdown is called or the process
-// exits; serving errors after a successful bind are dropped, as the
-// endpoint is diagnostic.
-func Serve(addr string, r *Registry) (bound string, shutdown func(), err error) {
+// function. The server runs until ctx is cancelled or shutdown is
+// called — both drain gracefully: every request context (including the
+// long-lived /metrics/stream feeds) is cancelled, in-flight handlers
+// get ShutdownGrace to finish, then remaining connections are closed.
+// Shutdown is idempotent and blocks until the drain completes, so the
+// caller observes a fully released listener; serving errors after a
+// successful bind are dropped, as the endpoint is diagnostic.
+func Serve(ctx context.Context, addr string, r *Registry) (bound string, shutdown func(), err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: NewHandler(r)}
+	// baseCtx parents every request context: cancelling it unblocks the
+	// SSE streams, which otherwise would hold graceful Shutdown forever.
+	baseCtx, cancelRequests := context.WithCancel(context.WithoutCancel(ctx))
+	srv := &http.Server{
+		Handler:     NewHandler(r),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+
+	var once sync.Once
+	done := make(chan struct{})
+	doShutdown := func() {
+		once.Do(func() {
+			cancelRequests()
+			graceCtx, cancel := context.WithTimeout(context.Background(), ShutdownGrace)
+			defer cancel()
+			if err := srv.Shutdown(graceCtx); err != nil {
+				_ = srv.Close()
+			}
+			close(done)
+		})
+		<-done
+	}
+	stop := context.AfterFunc(ctx, doShutdown)
+	return ln.Addr().String(), func() { stop(); doShutdown() }, nil
 }

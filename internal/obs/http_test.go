@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -59,7 +60,7 @@ func TestHandlerPprofAndExpvar(t *testing.T) {
 }
 
 func TestServeBindsAndShutsDown(t *testing.T) {
-	addr, shutdown, err := Serve("127.0.0.1:0", NewRegistry())
+	addr, shutdown, err := Serve(context.Background(), "127.0.0.1:0", NewRegistry())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -246,6 +246,11 @@ type Registry struct {
 	hists    map[string]*Histogram
 	events   eventRing
 	spans    spanRing
+	// streamSubs counts live Subscribe feeds (obs.stream.subscribers
+	// mirrors it as a gauge).
+	streamSubs int
+	// health is the watcher /healthz consults; set by Registry.Watch.
+	health atomic.Pointer[Watcher]
 }
 
 // NewRegistry returns an empty registry.

@@ -1,0 +1,152 @@
+package olog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tickClock is an obs.SimClock returning a fixed simulated time.
+type tickClock time.Duration
+
+func (c tickClock) Now() time.Duration { return time.Duration(c) }
+
+// reset restores the package's quiet default after a test.
+func reset() {
+	Disable()
+	SetSimClock(nil)
+	SetRunID("")
+}
+
+func TestQuietUntilSetup(t *testing.T) {
+	defer reset()
+	Disable()
+	log := L("test")
+	if log.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("logger enabled without a backend")
+	}
+	log.Error("goes nowhere") // must not panic
+	if Enabled(slog.LevelError) {
+		t.Fatal("package Enabled without a backend")
+	}
+}
+
+// TestHandleCreatedBeforeSetup is the dynamic-backend property: a
+// package-level logger built before Setup must start emitting the
+// moment Setup installs a backend.
+func TestHandleCreatedBeforeSetup(t *testing.T) {
+	defer reset()
+	log := L("early.bird") // created while disabled
+	var buf bytes.Buffer
+	if err := Setup("info", "json", &buf); err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hatched", "worms", 3)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["component"] != "early.bird" || rec["msg"] != "hatched" || rec["worms"] != float64(3) {
+		t.Fatalf("record = %v", rec)
+	}
+}
+
+func TestCorrelationAttributes(t *testing.T) {
+	defer reset()
+	var buf bytes.Buffer
+	if err := Setup("debug", "json", &buf); err != nil {
+		t.Fatal(err)
+	}
+	SetRunID("covert-123-456")
+	SetSimClock(tickClock(1500 * time.Millisecond))
+	ctx := WithSpan(context.Background(), "covert.transmit")
+
+	L("core.sampler").DebugContext(ctx, "sample lost", "cause", "dropout")
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["run"] != "covert-123-456" {
+		t.Fatalf("run = %v", rec["run"])
+	}
+	if rec["span"] != "covert.transmit" {
+		t.Fatalf("span = %v", rec["span"])
+	}
+	// slog.Duration renders as nanoseconds in the JSON handler.
+	if rec["sim"] != float64(1500*time.Millisecond) {
+		t.Fatalf("sim = %v", rec["sim"])
+	}
+	if rec["component"] != "core.sampler" {
+		t.Fatalf("component = %v", rec["component"])
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	defer reset()
+	var buf bytes.Buffer
+	if err := Setup("warn", "text", &buf); err != nil {
+		t.Fatal(err)
+	}
+	log := L("lvl")
+	log.Debug("hidden")
+	log.Info("hidden too")
+	log.Warn("visible")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("sub-threshold records emitted:\n%s", out)
+	}
+	if !strings.Contains(out, "visible") {
+		t.Fatalf("warn record missing:\n%s", out)
+	}
+	// SetLevel widens the filter without replacing the backend.
+	SetLevel(slog.LevelDebug)
+	log.Debug("now visible")
+	if !strings.Contains(buf.String(), "now visible") {
+		t.Fatal("SetLevel did not take effect")
+	}
+}
+
+func TestSetupRejectsUnknown(t *testing.T) {
+	defer reset()
+	var buf bytes.Buffer
+	if err := Setup("loud", "text", &buf); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+	if err := Setup("info", "xml", &buf); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestWithGroupPrefixesKeys(t *testing.T) {
+	defer reset()
+	var buf bytes.Buffer
+	if err := Setup("info", "json", &buf); err != nil {
+		t.Fatal(err)
+	}
+	L("g").WithGroup("shard").With("key", "fp/0").Info("done")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["shard.key"] != "fp/0" {
+		t.Fatalf("grouped attr = %v (record %v)", rec["shard.key"], rec)
+	}
+}
+
+func TestSpanFromContext(t *testing.T) {
+	if got := SpanFromContext(nil); got != "" {
+		t.Fatalf("nil context span = %q", got)
+	}
+	if got := SpanFromContext(context.Background()); got != "" {
+		t.Fatalf("bare context span = %q", got)
+	}
+	ctx := WithSpan(context.Background(), "x")
+	if got := SpanFromContext(ctx); got != "x" {
+		t.Fatalf("span = %q", got)
+	}
+}

@@ -1,0 +1,188 @@
+package obs
+
+// OpenMetrics/Prometheus text exposition of the registry. The renderer
+// lives in this package (rather than a subpackage like export) because
+// a faithful histogram exposition needs the raw geometric buckets,
+// which Snapshot deliberately summarizes away. The matching pure-text
+// parser lives in internal/obs/openmetrics and is what the tests and
+// cmd/metricscheck validate this output with.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// OpenMetricsContentType is the Content-Type of the /metrics endpoint.
+// Prometheus-lineage scrapers accept it via content negotiation; the
+// body is also valid Prometheus text format apart from the trailing
+// "# EOF" marker, which plain-text parsers treat as a comment.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// SanitizeMetricName maps an internal dotted metric name ("core.sampler.gaps",
+// "span.runner.campaign.wall_ns") onto the exposition charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid rune becomes '_' and a
+// leading digit gains a '_' prefix. The mapping is not injective
+// ("a.b" and "a-b" collide); WriteOpenMetrics resolves collisions
+// deterministically by suffixing later names in lexical order.
+func SanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// exportName resolves the exposition name for an internal metric name,
+// keeping the mapping injective within one rendering pass: callers
+// iterate internal names in lexical order, so a collision suffix is
+// stable across renders of the same registry.
+func exportName(taken map[string]bool, name string) string {
+	s := SanitizeMetricName(name)
+	if !taken[s] {
+		taken[s] = true
+		return s
+	}
+	for i := 2; ; i++ {
+		c := fmt.Sprintf("%s_%d", s, i)
+		if !taken[c] {
+			taken[c] = true
+			return c
+		}
+	}
+}
+
+// escapeHelp escapes a HELP text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// bucketUpper returns the inclusive upper bound of histogram bucket i,
+// the "le" label of its cumulative exposition series. The underflow
+// bucket is bounded by the smallest representable bucket edge and the
+// overflow bucket by +Inf.
+func bucketUpper(i int) float64 {
+	if i <= 0 {
+		return math.Exp2(histMinExp)
+	}
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	i--
+	exp := histMinExp + i>>histSubBits
+	sub := i & (histSub - 1)
+	return math.Exp2(float64(exp)) * (1 + (float64(sub)+1)/histSub)
+}
+
+// WriteOpenMetrics renders every counter, gauge, and histogram of the
+// registry in the OpenMetrics text exposition format, ending with the
+// "# EOF" marker. Counters gain the conventional "_total" suffix;
+// histograms render the non-empty geometric buckets as a cumulative
+// "_bucket{le=...}" series plus "_sum" and "_count". The HELP line
+// carries the internal dotted name, so a scraped series can always be
+// traced back to its obs registry entry.
+//
+// The render is not atomic with respect to concurrent recording: each
+// metric is read once, so a scrape during a run sees per-metric
+// freshness, the same contract Snapshot has.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	taken := make(map[string]bool, len(counters)+len(gauges)+len(hists))
+
+	for _, name := range sortedKeys(counters) {
+		en := exportName(taken, name)
+		sample := en
+		if !strings.HasSuffix(sample, "_total") {
+			sample += "_total"
+		}
+		fmt.Fprintf(&b, "# HELP %s obs counter %q\n", en, escapeHelp(name))
+		fmt.Fprintf(&b, "# TYPE %s counter\n", en)
+		fmt.Fprintf(&b, "%s %d\n", sample, counters[name].Value())
+	}
+	for _, name := range sortedKeys(gauges) {
+		en := exportName(taken, name)
+		fmt.Fprintf(&b, "# HELP %s obs gauge %q\n", en, escapeHelp(name))
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", en)
+		fmt.Fprintf(&b, "%s %s\n", en, formatFloat(gauges[name].Value()))
+	}
+	for _, name := range sortedKeys(hists) {
+		en := exportName(taken, name)
+		h := hists[name]
+		fmt.Fprintf(&b, "# HELP %s obs histogram %q\n", en, escapeHelp(name))
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", en)
+		// Cumulative counts over the non-empty buckets keep the series
+		// compact: 562 geometric buckets would render mostly zeros. The
+		// +Inf bucket is always present and equals the total count.
+		//
+		// Scrapes race recording, so consistency is built structurally:
+		// Observe increments the total count before the bucket, which
+		// makes a count read *after* the bucket walk an upper bound on
+		// the walk's cumulative sum, and the single read keeps
+		// "_bucket{le=+Inf}" and "_count" exactly equal.
+		var cum int64
+		for i := 0; i < histBuckets-1; i++ {
+			n := h.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			cum += n
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", en, formatFloat(bucketUpper(i)), cum)
+		}
+		total := h.Count()
+		if total < cum {
+			total = cum
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", en, total)
+		fmt.Fprintf(&b, "%s_sum %s\n", en, formatFloat(h.Sum()))
+		fmt.Fprintf(&b, "%s_count %d\n", en, total)
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,150 @@
+package openmetrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const goodDoc = `# HELP http_requests_total requests by "handler"
+# TYPE http_requests_total counter
+http_requests_total{handler="/metrics",code="200"} 1027 1712345678
+http_requests_total{handler="/healthz"} 3
+# TYPE temp_celsius gauge
+temp_celsius -12.5
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 2
+latency_seconds_bucket{le="1"} 5
+latency_seconds_bucket{le="+Inf"} 6
+latency_seconds_sum 3.75
+latency_seconds_count 6
+# EOF
+`
+
+func TestParseGoodDocument(t *testing.T) {
+	e, err := Parse(strings.NewReader(goodDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.SawEOF {
+		t.Fatal("SawEOF = false")
+	}
+	f := e.Family("http_requests_total")
+	if f == nil || f.Type != "counter" || len(f.Samples) != 2 {
+		t.Fatalf("counter family = %+v", f)
+	}
+	if f.Help != `requests by "handler"` {
+		t.Fatalf("help = %q", f.Help)
+	}
+	s, ok := f.Sample("http_requests_total", "")
+	if !ok || s.Value != 1027 || s.Labels["handler"] != "/metrics" || s.Labels["code"] != "200" {
+		t.Fatalf("first sample = %+v ok=%v", s, ok)
+	}
+	h := e.Family("latency_seconds")
+	if h == nil || len(h.Samples) != 5 {
+		t.Fatalf("histogram family = %+v", h)
+	}
+	inf, ok := h.Sample("latency_seconds_bucket", "+Inf")
+	if !ok || inf.Value != 6 || !math.IsInf(inf.Le(), +1) {
+		t.Fatalf("+Inf bucket = %+v ok=%v le=%v", inf, ok, inf.Le())
+	}
+}
+
+func TestParseEscapedLabels(t *testing.T) {
+	doc := "# TYPE files gauge\n" +
+		`files{path="C:\\temp\n",desc="say \"hi\""} 1` + "\n# EOF\n"
+	e, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Family("files").Samples[0]
+	if s.Labels["path"] != "C:\\temp\n" {
+		t.Fatalf("path = %q", s.Labels["path"])
+	}
+	if s.Labels["desc"] != `say "hi"` {
+		t.Fatalf("desc = %q", s.Labels["desc"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"after-eof", "# TYPE a gauge\na 1\n# EOF\nstray\n", "after # EOF"},
+		{"no-type", "orphan_metric 1\n# EOF\n", "no TYPE"},
+		{"dup-type", "# TYPE a gauge\n# TYPE a counter\na 1\n# EOF\n", "duplicate TYPE"},
+		{"bad-comment", "# NOPE a gauge\n# EOF\n", "unknown comment"},
+		{"bad-value", "# TYPE a gauge\na one\n# EOF\n", "bad value"},
+		{"unterminated-labels", "# TYPE a gauge\na{x=\"y\" 1\n# EOF\n", "unterminated label set"},
+		{"dup-label", "# TYPE a gauge\na{x=\"1\",x=\"2\"} 1\n# EOF\n", "duplicate label"},
+		{"bad-escape", `# TYPE a gauge` + "\n" + `a{x="\q"} 1` + "\n# EOF\n", "bad escape"},
+		{"bad-name", "# TYPE a gauge\n1a 1\n# EOF\n", "invalid metric name"},
+		{"empty-label-name", "# TYPE a gauge\na{=\"v\"} 1\n# EOF\n", "empty label name"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(c.doc))
+			if err == nil {
+				t.Fatalf("Parse accepted %q", c.doc)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"missing-eof", "# TYPE a gauge\na 1\n", "missing # EOF"},
+		{"negative-counter", "# TYPE a counter\na_total -1\n# EOF\n", "invalid value"},
+		{"no-total-suffix", "# TYPE a_total counter\na_total 1\n# TYPE b counter\nb 1\n# EOF\n", "lacks the _total suffix"},
+		{"no-type", "# HELP a something\n# EOF\n", "has no TYPE"},
+		{"hist-le-order", "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n# EOF\n", "out of le order"},
+		{"hist-cum-decrease", "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n# EOF\n", "cumulative counts decrease"},
+		{"hist-no-inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n# EOF\n", `lacks an le="+Inf"`},
+		{"hist-count-mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n# EOF\n", "_count"},
+		{"hist-no-buckets", "# TYPE h histogram\nh_sum 1\nh_count 1\n# EOF\n", "no buckets"},
+		{"empty-counter", "# TYPE c counter\n# EOF\n", "no samples"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			e, err := Parse(strings.NewReader(c.doc))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			verr := e.Validate()
+			if verr == nil {
+				t.Fatalf("Validate accepted %q", c.doc)
+			}
+			if !strings.Contains(verr.Error(), c.want) {
+				t.Fatalf("error = %v, want substring %q", verr, c.want)
+			}
+		})
+	}
+}
+
+func TestValidName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"abc":       true,
+		"a_b:c9":    true,
+		"_private":  true,
+		"9abc":      false,
+		"":          false,
+		"with-dash": false,
+		"with.dot":  false,
+	} {
+		if got := ValidName(name); got != want {
+			t.Errorf("ValidName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

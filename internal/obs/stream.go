@@ -1,0 +1,202 @@
+package obs
+
+// Live metric streaming: an in-process Subscribe API and the SSE
+// /metrics/stream endpoint built on it. The design constraint is the
+// one the sampling loop imposes on the whole obs layer — a slow or
+// stalled consumer must never apply backpressure to the code being
+// measured. Snapshots are taken by a per-subscription goroutine, and
+// each subscriber owns a bounded queue with drop-oldest overflow, so
+// the worst a dead client costs is one goroutine and a few retained
+// snapshots; dropped frames are counted in obs.stream.dropped_frames.
+//
+// The stream metrics themselves are registered lazily, on the first
+// Subscribe against a registry, so a process that never streams (the
+// benchtab perf harness, whose baseline comparison gates on the exact
+// deterministic counter set) sees no new counters.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Stream interval bounds: the floor keeps a hostile ?interval= query
+// from turning the snapshot loop into a busy loop; the default matches
+// a comfortable terminal refresh.
+const (
+	MinStreamInterval     = 50 * time.Millisecond
+	DefaultStreamInterval = time.Second
+	// DefaultStreamDepth is the per-subscriber queue bound.
+	DefaultStreamDepth = 4
+)
+
+// Subscription is one live feed of registry snapshots. Receive from C;
+// Close releases the feed's goroutine and slot.
+type Subscription struct {
+	reg  *Registry
+	ch   chan Snapshot
+	stop chan struct{}
+	once sync.Once
+}
+
+// Subscribe starts a periodic snapshot feed: every interval (clamped to
+// MinStreamInterval, DefaultStreamInterval when zero) the subscription
+// snapshots the registry and queues it. The queue holds depth snapshots
+// (DefaultStreamDepth when zero); when the consumer lags, the oldest
+// queued frame is dropped and obs.stream.dropped_frames incremented, so
+// a slow consumer sees gaps, never a stall — and neither does the code
+// being measured.
+func (r *Registry) Subscribe(interval time.Duration, depth int) *Subscription {
+	if interval <= 0 {
+		interval = DefaultStreamInterval
+	}
+	if interval < MinStreamInterval {
+		interval = MinStreamInterval
+	}
+	if depth <= 0 {
+		depth = DefaultStreamDepth
+	}
+	s := &Subscription{
+		reg:  r,
+		ch:   make(chan Snapshot, depth),
+		stop: make(chan struct{}),
+	}
+	dropped := r.Counter("obs.stream.dropped_frames")
+	subs := r.Gauge("obs.stream.subscribers")
+	r.mu.Lock()
+	r.streamSubs++
+	subs.Set(float64(r.streamSubs))
+	r.mu.Unlock()
+
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		// An immediate first frame: a dashboard connecting mid-run should
+		// not stare at a blank screen for one full interval.
+		s.offer(r.Snapshot(), dropped)
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.offer(r.Snapshot(), dropped)
+			}
+		}
+	}()
+	return s
+}
+
+// Subscribe starts a snapshot feed on the Default registry.
+func Subscribe(interval time.Duration, depth int) *Subscription {
+	return Default.Subscribe(interval, depth)
+}
+
+// offer enqueues a frame, dropping the oldest queued frame on overflow.
+func (s *Subscription) offer(snap Snapshot, dropped *Counter) {
+	select {
+	case s.ch <- snap:
+		return
+	default:
+	}
+	select {
+	case <-s.ch:
+		dropped.Inc()
+	default:
+	}
+	select {
+	case s.ch <- snap:
+	default:
+		// A racing consumer refilled the queue; count the lost frame.
+		dropped.Inc()
+	}
+}
+
+// C is the snapshot feed. It is never closed — select against a done
+// channel or call Close and stop receiving.
+func (s *Subscription) C() <-chan Snapshot { return s.ch }
+
+// Close stops the feed and releases the subscriber slot. Idempotent.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		close(s.stop)
+		s.reg.mu.Lock()
+		s.reg.streamSubs--
+		n := s.reg.streamSubs
+		s.reg.mu.Unlock()
+		s.reg.Gauge("obs.stream.subscribers").Set(float64(n))
+	})
+}
+
+// streamHandler serves /metrics/stream: a Server-Sent-Events feed of
+// registry snapshots as compact JSON, one "metrics" event per frame.
+//
+//	GET /metrics/stream?interval=500ms&depth=4
+//
+// A Last-Event-ID header (SSE reconnection) is parsed leniently: frames
+// are periodic and not replayable, so a valid ID only seeds the event
+// counter and a malformed one is ignored.
+func streamHandler(r *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		interval := DefaultStreamInterval
+		if q := req.URL.Query().Get("interval"); q != "" {
+			d, err := time.ParseDuration(q)
+			if err != nil || d <= 0 {
+				http.Error(w, fmt.Sprintf("bad interval %q (want a positive Go duration, e.g. 500ms)", q), http.StatusBadRequest)
+				return
+			}
+			interval = d
+		}
+		depth := DefaultStreamDepth
+		if q := req.URL.Query().Get("depth"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 1 || n > 1024 {
+				http.Error(w, fmt.Sprintf("bad depth %q (want 1..1024)", q), http.StatusBadRequest)
+				return
+			}
+			depth = n
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported by this connection", http.StatusInternalServerError)
+			return
+		}
+		// Resumed event IDs restart the counter; anything unparseable
+		// (including adversarial garbage) silently starts from zero.
+		var id int64
+		if v := req.Header.Get("Last-Event-ID"); v != "" {
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil && n >= 0 {
+				id = n + 1
+			}
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, "retry: %d\n\n", interval.Milliseconds())
+		fl.Flush()
+
+		sub := r.Subscribe(interval, depth)
+		defer sub.Close()
+		ctx := req.Context()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case snap := <-sub.C():
+				data, err := json.Marshal(snap)
+				if err != nil {
+					return
+				}
+				// Compact JSON contains no newlines, so one data: line
+				// carries the whole frame.
+				if _, err := fmt.Fprintf(w, "id: %d\nevent: metrics\ndata: %s\n\n", id, data); err != nil {
+					return
+				}
+				fl.Flush()
+				id++
+			}
+		}
+	}
+}

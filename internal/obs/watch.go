@@ -1,0 +1,194 @@
+package obs
+
+// Threshold-based health rules. A long sampling run degrades silently:
+// the resilient sampling layer absorbs faults into gaps and retries,
+// and nothing complains until the post-hoc analysis looks wrong. A
+// Watcher turns the registry's own metrics into a live verdict — each
+// rule inspects consecutive snapshots, violations are emitted as
+// structured warn-level events (and through an optional callback, which
+// the CLIs route into the olog facade), and the /healthz endpoint
+// reports the current verdict for scripts and orchestrators.
+//
+// Like the stream counters, obs.watch.violations is registered lazily
+// by Watch so non-watching processes keep their deterministic counter
+// set unchanged.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Violation is one failed health rule evaluation.
+type Violation struct {
+	// Rule is the failing rule's name.
+	Rule string `json:"rule"`
+	// Detail explains the failure with the observed and threshold values.
+	Detail string `json:"detail"`
+	// At is the evaluation time.
+	At time.Time `json:"at"`
+}
+
+// Rule is one health predicate over the registry. Check receives the
+// previous and current snapshot; on the first evaluation prev is the
+// zero Snapshot and hasPrev is false, which rate-style rules use to
+// withhold judgement until they have a window.
+type Rule struct {
+	// Name identifies the rule in events, logs, and /healthz output.
+	Name string
+	// Check returns ok=false and a human-readable detail on violation.
+	Check func(prev, cur Snapshot, hasPrev bool) (ok bool, detail string)
+}
+
+// CounterRateRule fails when the named counter grows faster than
+// maxPerSec, measured between consecutive evaluations (wall clock).
+func CounterRateRule(name, counter string, maxPerSec float64) Rule {
+	return Rule{Name: name, Check: func(prev, cur Snapshot, hasPrev bool) (bool, string) {
+		if !hasPrev {
+			return true, ""
+		}
+		dt := cur.TakenAt.Sub(prev.TakenAt).Seconds()
+		if dt <= 0 {
+			return true, ""
+		}
+		rate := float64(cur.Counter(counter)-prev.Counter(counter)) / dt
+		if rate > maxPerSec {
+			return false, fmt.Sprintf("%s rate %.1f/s exceeds %.1f/s", counter, rate, maxPerSec)
+		}
+		return true, ""
+	}}
+}
+
+// RatioRule fails when num/den exceeds max (den==0 never fails).
+func RatioRule(name, num, den string, max float64) Rule {
+	return Rule{Name: name, Check: func(_, cur Snapshot, _ bool) (bool, string) {
+		d := cur.Counter(den)
+		if d == 0 {
+			return true, ""
+		}
+		ratio := float64(cur.Counter(num)) / float64(d)
+		if ratio > max {
+			return false, fmt.Sprintf("%s/%s = %.3f exceeds %.3f", num, den, ratio, max)
+		}
+		return true, ""
+	}}
+}
+
+// GaugeCeilingRule fails when the named gauge exceeds max.
+func GaugeCeilingRule(name, gauge string, max float64) Rule {
+	return Rule{Name: name, Check: func(_, cur Snapshot, _ bool) (bool, string) {
+		if v := cur.Gauge(gauge); v > max {
+			return false, fmt.Sprintf("%s = %g exceeds ceiling %g", gauge, v, max)
+		}
+		return true, ""
+	}}
+}
+
+// DefaultHealthRules are the rules the CLIs install when serving obs
+// endpoints: the sampling layer may absorb faults, but when more than
+// half the recorded samples are gaps, or one sampler is stuck in a long
+// consecutive-gap run, the run's figures are no longer trustworthy.
+func DefaultHealthRules() []Rule {
+	return []Rule{
+		RatioRule("trace.gap_ratio", "trace.gaps_recorded", "trace.samples_recorded", 0.5),
+		RatioRule("core.sampler.gap_ratio", "core.sampler.gaps", "core.sampler.samples", 0.5),
+		GaugeCeilingRule("core.sampler.consecutive_gaps", "core.sampler.consecutive_gaps", 64),
+		RatioRule("runner.shard_failures", "runner.shards_failed", "runner.shards", 0.25),
+	}
+}
+
+// Watcher evaluates a rule set against the registry.
+type Watcher struct {
+	reg   *Registry
+	rules []Rule
+
+	mu          sync.Mutex
+	prev        Snapshot
+	hasPrev     bool
+	last        []Violation
+	onViolation func(Violation)
+	violations  *Counter
+}
+
+// Watch installs a watcher on the registry and makes it the /healthz
+// authority. Passing no rules installs DefaultHealthRules.
+func (r *Registry) Watch(rules ...Rule) *Watcher {
+	if len(rules) == 0 {
+		rules = DefaultHealthRules()
+	}
+	w := &Watcher{
+		reg:        r,
+		rules:      rules,
+		violations: r.Counter("obs.watch.violations"),
+	}
+	r.health.Store(w)
+	return w
+}
+
+// Watch installs a watcher on the Default registry.
+func Watch(rules ...Rule) *Watcher { return Default.Watch(rules...) }
+
+// OnViolation sets a callback invoked for each violation as it is
+// detected (the CLIs log it through olog at warn level).
+func (w *Watcher) OnViolation(f func(Violation)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.onViolation = f
+}
+
+// Evaluate snapshots the registry, runs every rule, records violations
+// as warn events and through the callback, and returns them. The
+// snapshot becomes the "previous" for the next evaluation's rate rules.
+func (w *Watcher) Evaluate() []Violation {
+	cur := w.reg.Snapshot()
+	w.mu.Lock()
+	prev, hasPrev, cb := w.prev, w.hasPrev, w.onViolation
+	w.prev, w.hasPrev = cur, true
+	w.mu.Unlock()
+
+	var out []Violation
+	for _, rule := range w.rules {
+		ok, detail := rule.Check(prev, cur, hasPrev)
+		if ok {
+			continue
+		}
+		v := Violation{Rule: rule.Name, Detail: detail, At: cur.TakenAt}
+		out = append(out, v)
+		w.violations.Inc()
+		w.reg.Eventf("WARN watch: %s: %s", v.Rule, v.Detail)
+		if cb != nil {
+			cb(v)
+		}
+	}
+	w.mu.Lock()
+	w.last = out
+	w.mu.Unlock()
+	return out
+}
+
+// Last returns the violations of the most recent evaluation.
+func (w *Watcher) Last() []Violation {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Violation(nil), w.last...)
+}
+
+// Run evaluates the rules every interval until ctx is done. It is the
+// periodic mode the CLIs use while serving; /healthz also evaluates on
+// demand, so Run is optional.
+func (w *Watcher) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			w.Evaluate()
+		}
+	}
+}

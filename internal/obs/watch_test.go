@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRatioRule(t *testing.T) {
+	rule := RatioRule("gap_ratio", "gaps", "samples", 0.5)
+	cur := Snapshot{Counters: map[string]int64{"gaps": 3, "samples": 10}}
+	if ok, _ := rule.Check(Snapshot{}, cur, true); !ok {
+		t.Fatal("30% gaps flagged at a 50% threshold")
+	}
+	cur.Counters["gaps"] = 6
+	ok, detail := rule.Check(Snapshot{}, cur, true)
+	if ok {
+		t.Fatal("60% gaps passed a 50% threshold")
+	}
+	if !strings.Contains(detail, "gaps/samples") {
+		t.Fatalf("detail = %q", detail)
+	}
+	// Zero denominator: no data is not a violation.
+	if ok, _ := rule.Check(Snapshot{}, Snapshot{Counters: map[string]int64{"gaps": 5}}, true); !ok {
+		t.Fatal("zero denominator flagged")
+	}
+}
+
+func TestCounterRateRule(t *testing.T) {
+	rule := CounterRateRule("gap_rate", "gaps", 10)
+	t0 := time.Now()
+	prev := Snapshot{TakenAt: t0, Counters: map[string]int64{"gaps": 0}}
+	cur := Snapshot{TakenAt: t0.Add(time.Second), Counters: map[string]int64{"gaps": 5}}
+	// First evaluation has no window: always ok.
+	if ok, _ := rule.Check(Snapshot{}, cur, false); !ok {
+		t.Fatal("first evaluation flagged without a window")
+	}
+	if ok, _ := rule.Check(prev, cur, true); !ok {
+		t.Fatal("5/s flagged at a 10/s threshold")
+	}
+	cur.Counters["gaps"] = 50
+	if ok, _ := rule.Check(prev, cur, true); ok {
+		t.Fatal("50/s passed a 10/s threshold")
+	}
+}
+
+func TestGaugeCeilingRule(t *testing.T) {
+	rule := GaugeCeilingRule("consec", "core.sampler.consecutive_gaps", 64)
+	if ok, _ := rule.Check(Snapshot{}, Snapshot{Gauges: map[string]float64{"core.sampler.consecutive_gaps": 64}}, true); !ok {
+		t.Fatal("value at the ceiling flagged")
+	}
+	if ok, _ := rule.Check(Snapshot{}, Snapshot{Gauges: map[string]float64{"core.sampler.consecutive_gaps": 65}}, true); ok {
+		t.Fatal("value above the ceiling passed")
+	}
+}
+
+func TestWatcherEvaluate(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("trace.samples_recorded").Add(10)
+	r.Counter("trace.gaps_recorded").Add(9) // 90% gaps: clearly unhealthy
+	w := r.Watch()
+
+	var cbCount int
+	w.OnViolation(func(v Violation) { cbCount++ })
+
+	got := w.Evaluate()
+	if len(got) != 1 || got[0].Rule != "trace.gap_ratio" {
+		t.Fatalf("violations = %+v, want one trace.gap_ratio", got)
+	}
+	if cbCount != 1 {
+		t.Fatalf("callback invoked %d times", cbCount)
+	}
+	if n := r.Counter("obs.watch.violations").Value(); n != 1 {
+		t.Fatalf("obs.watch.violations = %d", n)
+	}
+	if last := w.Last(); len(last) != 1 || last[0].Detail != got[0].Detail {
+		t.Fatalf("Last() = %+v", last)
+	}
+	// The violation also lands in the event ring as a WARN.
+	snap := r.Snapshot()
+	found := false
+	for _, e := range snap.Events {
+		if strings.Contains(e.Msg, "WARN watch: trace.gap_ratio") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no WARN event recorded; events = %+v", snap.Events)
+	}
+
+	// Recovery: once the ratio drops below threshold, Evaluate is clean.
+	r.Counter("trace.samples_recorded").Add(100)
+	if got := w.Evaluate(); len(got) != 0 {
+		t.Fatalf("violations after recovery = %+v", got)
+	}
+	if last := w.Last(); len(last) != 0 {
+		t.Fatalf("Last() after recovery = %+v", last)
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	// No watcher installed: /healthz reports ok with a note.
+	r := NewRegistry()
+	srv := httptest.NewServer(NewHandler(r))
+	defer srv.Close()
+	body, code := getBody(t, srv.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "no watch rules") {
+		t.Fatalf("no-watcher healthz = %d %q", code, body)
+	}
+
+	// Healthy registry with a watcher: plain ok.
+	r.Watch()
+	body, code = getBody(t, srv.URL+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthy healthz = %d %q", code, body)
+	}
+
+	// Unhealthy: a stuck sampler trips the consecutive-gap ceiling.
+	r.Gauge("core.sampler.consecutive_gaps").Set(1000)
+	body, code = getBody(t, srv.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy healthz code = %d, body %q", code, body)
+	}
+	if !strings.Contains(body, "core.sampler.consecutive_gaps") {
+		t.Fatalf("unhealthy healthz body = %q", body)
+	}
+
+	// Recovery flips it back to 200.
+	r.Gauge("core.sampler.consecutive_gaps").Set(0)
+	if _, code := getBody(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("recovered healthz code = %d", code)
+	}
+}
+
+func getBody(t *testing.T, url string) (string, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), resp.StatusCode
+}
+
+func TestWatcherRunStopsOnCancel(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runner.shards").Add(4)
+	r.Counter("runner.shards_failed").Add(4) // 100% failures
+	w := r.Watch()
+
+	fired := make(chan struct{}, 16)
+	w.OnViolation(func(Violation) {
+		select {
+		case fired <- struct{}{}:
+		default:
+		}
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		w.Run(ctx, 10*time.Millisecond)
+		close(done)
+	}()
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("periodic evaluation never fired")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+}

@@ -2,6 +2,7 @@ package ampere
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"testing"
@@ -47,7 +48,7 @@ func TestSnapshotAfterRun(t *testing.T) {
 // TestServeObsEndpoints starts the observability server via the public
 // API and round-trips the JSON snapshot endpoint.
 func TestServeObsEndpoints(t *testing.T) {
-	bound, shutdown, err := ServeObs("127.0.0.1:0")
+	bound, shutdown, err := ServeObs(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
