@@ -99,6 +99,10 @@ func main() {
 		os.Exit(2)
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
+	if err := (runFlags{FaultIntensity: *faultIntensity, ObsHold: *obsHold}).validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "amperebleed: %v\n", err)
+		os.Exit(2)
+	}
 	start := time.Now()
 	if err := olog.Setup(*logLevel, *logFormat, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "amperebleed: %v\n", err)
@@ -514,6 +518,9 @@ func cmdCharacterize(args []string, profile *faults.Profile) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := (runFlags{Parallel: *parallel}).validate(); err != nil {
+		return err
+	}
 	noteRun(*seed, *parallel)
 	res, err := core.Characterize(core.CharacterizeConfig{
 		Seed:              *seed,
@@ -541,6 +548,9 @@ func cmdFingerprint(args []string, profile *faults.Profile) error {
 	load := fs.String("load", "", "reuse captures from this JSON file instead of collecting")
 	parallel := fs.Int("parallel", 0, "workers for trace capture and evaluation shards (0 = GOMAXPROCS; results are identical for any worker count)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := (runFlags{Parallel: *parallel}).validate(); err != nil {
 		return err
 	}
 	noteRun(*seed, *parallel)
@@ -687,6 +697,9 @@ func cmdApplicability(args []string, profile *faults.Profile) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := (runFlags{Parallel: *parallel}).validate(); err != nil {
+		return err
+	}
 	noteRun(*seed, *parallel)
 	rows, err := core.Applicability(core.ApplicabilityConfig{
 		Seed:        *seed,
@@ -710,6 +723,9 @@ func cmdRobustness(args []string) error {
 	bits := fs.Int("bits", 32, "covert payload bits")
 	parallel := fs.Int("parallel", 0, "workers for the sharded sub-experiments (0 = GOMAXPROCS; results are identical for any worker count)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := (runFlags{Parallel: *parallel}).validate(); err != nil {
 		return err
 	}
 	noteRun(*seed, *parallel)
@@ -830,6 +846,9 @@ func cmdCovert(args []string, profile *faults.Profile) error {
 	interval := fs.Duration("update-interval", 0, "sensor update interval override (root)")
 	parallel := fs.Int("parallel", 0, "workers of the multi-channel chunked protocol (0 = classic single transmission; results are identical for any worker count >= 1)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := (runFlags{Parallel: *parallel}).validate(); err != nil {
 		return err
 	}
 	noteRun(*seed, *parallel)

@@ -1,0 +1,230 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// TestMutantShrinkDeterministic plants a known bug — the property
+// rejects any slice containing an element >= 100 — and proves the
+// acceptance criterion: the engine shrinks to the exact boundary
+// counterexample [100], and a second run with the same seed reproduces
+// a byte-identical failure report (counterexample, logs, and replay
+// line included).
+func TestMutantShrinkDeterministic(t *testing.T) {
+	g := SliceOf(IntRange(0, 1000), 1, 40)
+	mutant := func(c *T, xs []int64) {
+		for _, x := range xs {
+			if x >= 100 { // planted bug boundary
+				c.Errorf("element %d crossed the planted threshold", x)
+				return
+			}
+		}
+	}
+
+	const seed = 424242
+	rep1 := Run("TestMutantShrinkDeterministic", g, mutant, Seed(seed))
+	if !rep1.Failed {
+		t.Fatalf("mutant property did not fail in %d iterations", rep1.Iters)
+	}
+	if got, want := rep1.Rendered, "[100]"; got != want {
+		t.Fatalf("shrunk counterexample = %s, want %s (exact planted boundary)", got, want)
+	}
+	if rep1.ShrinkSteps == 0 {
+		t.Fatalf("expected shrinking to take steps, got 0")
+	}
+
+	rep2 := Run("TestMutantShrinkDeterministic", g, mutant, Seed(seed))
+	if f1, f2 := rep1.Failure(), rep2.Failure(); f1 != f2 {
+		t.Fatalf("failure report not byte-identical across replays:\n--- first ---\n%s\n--- second ---\n%s", f1, f2)
+	}
+	if rep1.FailIter != rep2.FailIter || rep1.ShrinkSteps != rep2.ShrinkSteps {
+		t.Fatalf("replay diverged: iter %d/%d, steps %d/%d",
+			rep1.FailIter, rep2.FailIter, rep1.ShrinkSteps, rep2.ShrinkSteps)
+	}
+}
+
+// TestReplayLineMentionsSeed pins the failure report's replay
+// affordance: the seed and a -run pattern for the top-level test.
+func TestReplayLineMentionsSeed(t *testing.T) {
+	g := IntRange(0, 10)
+	rep := Run("TestSomething/sub/case", g, func(c *T, v int64) { c.Fail() }, Seed(7))
+	if !rep.Failed {
+		t.Fatal("property should have failed immediately")
+	}
+	msg := rep.Failure()
+	for _, want := range []string{"-check.seed=7", "-run 'TestSomething'", "seed 7"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("failure message missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+// TestSeedDerivationMatchesRunner pins the cross-package determinism
+// contract: check derives per-property seeds with exactly the scheme
+// runner uses for shard seeds (and sim for named streams), so seeds
+// printed by one subsystem are meaningful in another.
+func TestSeedDerivationMatchesRunner(t *testing.T) {
+	for _, name := range []string{"", "TestPropMeanShift", "shard-007", "über"} {
+		for _, root := range []int64{0, 1, DefaultSeed, -12345} {
+			if got, want := DeriveSeed(root, name), runner.ShardSeed(root, name); got != want {
+				t.Errorf("DeriveSeed(%d, %q) = %d, want runner.ShardSeed's %d", root, name, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentPropertyNamesDecorrelate ensures two properties under
+// the same root seed draw different streams.
+func TestDifferentPropertyNamesDecorrelate(t *testing.T) {
+	if DeriveSeed(1, "a") == DeriveSeed(1, "b") {
+		t.Fatal("distinct property names produced the same derived seed")
+	}
+}
+
+func TestVacuousPropertyReported(t *testing.T) {
+	g := IntRange(0, 10)
+	rep := Run("vacuous", g, func(c *T, v int64) { c.Discard() }, Seed(1), Iters(20))
+	if !rep.Vacuous {
+		t.Fatal("all-discard property not reported vacuous")
+	}
+	if rep.Failed {
+		t.Fatal("vacuous property should not be reported as falsified")
+	}
+	if rep.Discards != 20 {
+		t.Fatalf("Discards = %d, want 20", rep.Discards)
+	}
+}
+
+func TestLabelsCounted(t *testing.T) {
+	g := IntRange(0, 9)
+	rep := Run("labels", g, func(c *T, v int64) {
+		c.Classify(v%2 == 0, "even")
+		c.Classify(v%2 == 1, "odd")
+		c.Label("all")
+	}, Seed(1), Iters(50))
+	if rep.Failed || rep.Vacuous {
+		t.Fatalf("property unexpectedly failed/vacuous: %+v", rep)
+	}
+	if rep.Labels["all"] != 50 {
+		t.Fatalf(`Labels["all"] = %d, want 50`, rep.Labels["all"])
+	}
+	if rep.Labels["even"]+rep.Labels["odd"] != 50 {
+		t.Fatalf("even+odd = %d, want 50", rep.Labels["even"]+rep.Labels["odd"])
+	}
+	if s := rep.labelSummary(); !strings.Contains(s, "all=50 (100%)") {
+		t.Fatalf("label summary missing total: %q", s)
+	}
+}
+
+// TestPanicIsFailure ensures a panic in the property body (or the code
+// under test) is treated as a falsification and still shrinks.
+func TestPanicIsFailure(t *testing.T) {
+	g := IntRange(0, 1000)
+	rep := Run("panics", g, func(c *T, v int64) {
+		if v >= 3 {
+			panic("boom")
+		}
+	}, Seed(1))
+	if !rep.Failed {
+		t.Fatal("panicking property not reported as failed")
+	}
+	if rep.Rendered != "3" {
+		t.Fatalf("panic counterexample = %s, want 3", rep.Rendered)
+	}
+	found := false
+	for _, l := range rep.Logs {
+		if strings.Contains(l, "panic: boom") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("panic value not captured in logs: %v", rep.Logs)
+	}
+}
+
+func TestFatalfAbortsBody(t *testing.T) {
+	g := Const(int64(0))
+	reached := false
+	rep := Run("fatalf", g, func(c *T, v int64) {
+		c.Fatalf("stop here")
+		reached = true
+	}, Seed(1), Iters(1))
+	if !rep.Failed {
+		t.Fatal("Fatalf did not fail the property")
+	}
+	if reached {
+		t.Fatal("property body continued past Fatalf")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	g := IntRange(0, 1)
+	if rep := Run("iters", g, func(*T, int64) {}, Iters(0)); rep.ConfigErr == "" {
+		t.Error("Iters(0) accepted; -check.iters < 1 must be rejected")
+	}
+	if rep := Run("nogen", Gen[int64]{}, func(*T, int64) {}); rep.ConfigErr == "" {
+		t.Error("nil Generate accepted")
+	}
+	if rep := Run("shrink", g, func(*T, int64) {}, MaxShrink(-1)); rep.ConfigErr == "" {
+		t.Error("negative MaxShrink accepted")
+	}
+}
+
+// TestMaxShrinkBounds proves the shrink loop cannot run away: with a
+// zero budget the raw failing input is reported unshrunk.
+func TestMaxShrinkBounds(t *testing.T) {
+	g := IntRange(0, 1000)
+	rep := Run("unshrunk", g, func(c *T, v int64) {
+		if v >= 100 {
+			c.Fail()
+		}
+	}, Seed(5), MaxShrink(0))
+	if !rep.Failed {
+		t.Fatal("property did not fail")
+	}
+	if rep.ShrinkSteps != 0 {
+		t.Fatalf("ShrinkSteps = %d with MaxShrink(0)", rep.ShrinkSteps)
+	}
+}
+
+// TestForallPasses exercises the real Forall entry point on a property
+// that holds, including labels, against the package's default flags.
+func TestForallPasses(t *testing.T) {
+	Forall(t, SliceOf(IntRange(-50, 50), 0, 20), func(c *T, xs []int64) {
+		c.Classify(len(xs) == 0, "empty")
+		total := int64(0)
+		for _, x := range xs {
+			total += x
+		}
+		reversedTotal := int64(0)
+		for i := len(xs) - 1; i >= 0; i-- {
+			reversedTotal += xs[i]
+		}
+		if total != reversedTotal {
+			c.Errorf("sum not order-independent: %d vs %d", total, reversedTotal)
+		}
+	})
+}
+
+// TestDiscardedIterationsDontCount ensures discards before a failure
+// neither mask it nor perturb determinism.
+func TestDiscardedIterationsDontCount(t *testing.T) {
+	g := IntRange(0, 20)
+	rep := Run("discard-mix", g, func(c *T, v int64) {
+		if v < 5 {
+			c.Discard()
+		}
+		if v >= 15 {
+			c.Fail()
+		}
+	}, Seed(3))
+	if !rep.Failed {
+		t.Fatal("failure masked by discards")
+	}
+	if rep.Rendered != "15" {
+		t.Fatalf("counterexample = %s, want boundary 15", rep.Rendered)
+	}
+}

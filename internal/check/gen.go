@@ -1,0 +1,221 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Const always generates v and never shrinks.
+func Const[V any](v V) Gen[V] {
+	return Gen[V]{Generate: func(*rand.Rand, int) V { return v }}
+}
+
+// Bool generates booleans; true shrinks to false.
+func Bool() Gen[bool] {
+	return Gen[bool]{
+		Generate: func(r *rand.Rand, _ int) bool { return r.Intn(2) == 1 },
+		Shrink: func(v bool) []bool {
+			if v {
+				return []bool{false}
+			}
+			return nil
+		},
+	}
+}
+
+// IntRange generates integers uniformly in [lo, hi]. Shrinking moves
+// toward lo: first the jump to lo itself, then halving the distance,
+// then a single step — the v-1 chain guarantees that a property with a
+// threshold bug (fails for v >= k) shrinks to exactly k.
+func IntRange(lo, hi int64) Gen[int64] {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return Gen[int64]{
+		Generate: func(r *rand.Rand, _ int) int64 {
+			return lo + r.Int63n(hi-lo+1)
+		},
+		Shrink: func(v int64) []int64 {
+			if v == lo {
+				return nil
+			}
+			var out []int64
+			add := func(c int64) {
+				for _, e := range out {
+					if e == c {
+						return
+					}
+				}
+				out = append(out, c)
+			}
+			add(lo)
+			add(lo + (v-lo)/2)
+			add(v - 1)
+			return out
+		},
+	}
+}
+
+// Float64Range generates floats uniformly in [lo, hi]. Shrinking moves
+// toward zero (or the nearest bound): zero if in range, then the
+// truncated value, then the halfway point toward the shrink target.
+// NaN and Inf shrink to the target immediately.
+func Float64Range(lo, hi float64) Gen[float64] {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	target := lo
+	if lo <= 0 && 0 <= hi {
+		target = 0
+	}
+	return Gen[float64]{
+		Generate: func(r *rand.Rand, _ int) float64 {
+			return lo + r.Float64()*(hi-lo)
+		},
+		Shrink: func(v float64) []float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return []float64{target}
+			}
+			if v == target {
+				return nil
+			}
+			var out []float64
+			add := func(c float64) {
+				if c < lo || c > hi {
+					return
+				}
+				for _, e := range out {
+					if e == c {
+						return
+					}
+				}
+				if c != v {
+					out = append(out, c)
+				}
+			}
+			add(target)
+			add(math.Trunc(v))
+			add(target + (v-target)/2)
+			return out
+		},
+	}
+}
+
+// OneOf picks one of the values uniformly; shrinking moves toward the
+// first (put the simplest value first).
+func OneOf[V comparable](vals ...V) Gen[V] {
+	if len(vals) == 0 {
+		panic("check: OneOf needs at least one value")
+	}
+	return Gen[V]{
+		Generate: func(r *rand.Rand, _ int) V {
+			return vals[r.Intn(len(vals))]
+		},
+		Shrink: func(v V) []V {
+			for i, cand := range vals {
+				if cand == v {
+					if i == 0 {
+						return nil
+					}
+					return []V{vals[0], vals[i-1]}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// SliceOf generates slices of elem with length in [minLen, maxLen]
+// (the upper end additionally scaled by the runner's size parameter).
+// Shrinking tries, in order: the first half, the second half, each
+// single-element removal, then element-wise shrinks — so a failing
+// slice first loses irrelevant elements, then its surviving elements
+// simplify. All candidates are fresh copies; shrinkers never alias.
+func SliceOf[V any](elem Gen[V], minLen, maxLen int) Gen[[]V] {
+	if minLen < 0 {
+		minLen = 0
+	}
+	if maxLen < minLen {
+		maxLen = minLen
+	}
+	return Gen[[]V]{
+		Generate: func(r *rand.Rand, size int) []V {
+			hi := maxLen
+			if scaled := minLen + (maxLen-minLen)*size/100; scaled < hi {
+				hi = scaled
+			}
+			if hi < minLen {
+				hi = minLen
+			}
+			n := minLen + r.Intn(hi-minLen+1)
+			out := make([]V, n)
+			for i := range out {
+				out[i] = elem.Generate(r, size)
+			}
+			return out
+		},
+		Shrink: func(v []V) [][]V {
+			var out [][]V
+			n := len(v)
+			if n > minLen {
+				if half := n / 2; half >= minLen && half < n {
+					out = append(out, clone(v[:half]), clone(v[half:]))
+				}
+				for i := 0; i < n; i++ {
+					cand := make([]V, 0, n-1)
+					cand = append(cand, v[:i]...)
+					cand = append(cand, v[i+1:]...)
+					out = append(out, cand)
+				}
+			}
+			if elem.Shrink != nil {
+				for i := 0; i < n; i++ {
+					for _, ev := range elem.Shrink(v[i]) {
+						cand := clone(v)
+						cand[i] = ev
+						out = append(out, cand)
+					}
+				}
+			}
+			return out
+		},
+		Describe: func(v []V) string {
+			parts := make([]string, len(v))
+			for i, e := range v {
+				parts[i] = elem.describe(e)
+			}
+			return "[" + strings.Join(parts, " ") + "]"
+		},
+	}
+}
+
+func clone[V any](v []V) []V {
+	out := make([]V, len(v))
+	copy(out, v)
+	return out
+}
+
+// Map derives a generator by transforming another's values. The
+// transform must be pure; shrinking shrinks the source and re-maps.
+func Map[A, B any](g Gen[A], f func(A) B) Gen[B] {
+	return Gen[B]{
+		Generate: func(r *rand.Rand, size int) B {
+			return f(g.Generate(r, size))
+		},
+		// No Shrink: the source value is not retained. Generators that
+		// need shrinking through a transform should generate the source
+		// type and transform inside the property, or provide a custom
+		// Gen with an inverse-aware shrinker.
+	}
+}
+
+// FloatDescribe renders a float slice compactly for failure reports.
+func FloatDescribe(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%g", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

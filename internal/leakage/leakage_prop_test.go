@@ -1,0 +1,180 @@
+package leakage_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/leakage"
+)
+
+// twoGroups generates a pair of sample groups with distinct means, the
+// shape every TVLA/Welch call sees.
+type twoGroups struct {
+	a, b []float64
+}
+
+func genTwoGroups() check.Gen[twoGroups] {
+	return check.Gen[twoGroups]{
+		Generate: func(r *rand.Rand, _ int) twoGroups {
+			mk := func(mean float64) []float64 {
+				n := 2 + r.Intn(60)
+				out := make([]float64, n)
+				for i := range out {
+					out[i] = mean + r.NormFloat64()
+				}
+				return out
+			}
+			return twoGroups{a: mk(10 * r.Float64()), b: mk(10 * r.Float64())}
+		},
+		Describe: func(g twoGroups) string {
+			return "a=" + check.FloatDescribe(g.a) + " b=" + check.FloatDescribe(g.b)
+		},
+	}
+}
+
+// manyGroups generates >= 2 groups of >= 2 samples, the SNR input shape.
+func genManyGroups() check.Gen[[][]float64] {
+	return check.Gen[[][]float64]{
+		Generate: func(r *rand.Rand, _ int) [][]float64 {
+			k := 2 + r.Intn(6)
+			groups := make([][]float64, k)
+			for gi := range groups {
+				n := 2 + r.Intn(20)
+				mean := 5 * r.Float64()
+				groups[gi] = make([]float64, n)
+				for i := range groups[gi] {
+					groups[gi][i] = mean + 0.5*r.NormFloat64()
+				}
+			}
+			return groups
+		},
+	}
+}
+
+// TestPropWelchTAntisymmetric: swapping the groups flips only the sign
+// of the t statistic — exactly, in floating point, because the
+// denominator's addition is commutative.
+func TestPropWelchTAntisymmetric(t *testing.T) {
+	check.Forall(t, genTwoGroups(), func(c *check.T, g twoGroups) {
+		tab, err := leakage.WelchT(g.a, g.b)
+		if err != nil {
+			c.Fatalf("WelchT(a,b): %v", err)
+		}
+		tba, err := leakage.WelchT(g.b, g.a)
+		if err != nil {
+			c.Fatalf("WelchT(b,a): %v", err)
+		}
+		if tab != -tba {
+			c.Errorf("t not antisymmetric under swap: %v vs %v", tab, tba)
+		}
+	})
+}
+
+// TestPropTVLAVerdictSwapInvariant: the leak verdict (|t| against the
+// 4.5 threshold) cannot depend on which set is called "fixed".
+func TestPropTVLAVerdictSwapInvariant(t *testing.T) {
+	check.Forall(t, genTwoGroups(), func(c *check.T, g twoGroups) {
+		r1, err := leakage.TVLA(g.a, g.b)
+		if err != nil {
+			c.Fatalf("TVLA(a,b): %v", err)
+		}
+		r2, err := leakage.TVLA(g.b, g.a)
+		if err != nil {
+			c.Fatalf("TVLA(b,a): %v", err)
+		}
+		c.Classify(r1.Leaks, "leaks")
+		if r1.Leaks != r2.Leaks {
+			c.Errorf("verdict flipped under swap: %v (t=%v) vs %v (t=%v)", r1.Leaks, r1.T, r2.Leaks, r2.T)
+		}
+		if math.Abs(r1.T) > leakage.TVLAThreshold != r1.Leaks {
+			c.Errorf("Leaks inconsistent with |t|=%v", math.Abs(r1.T))
+		}
+	})
+}
+
+// TestPropSNRDCOffsetInvariant: adding the same DC offset to every
+// sample moves every group mean equally and leaves within-group spread
+// alone, so the SNR is unchanged (up to rounding).
+func TestPropSNRDCOffsetInvariant(t *testing.T) {
+	check.Forall(t, genManyGroups(), func(c *check.T, groups [][]float64) {
+		base, err := leakage.SNR(groups)
+		if err != nil {
+			c.Fatalf("SNR: %v", err)
+		}
+		const dc = 250.0
+		shifted := make([][]float64, len(groups))
+		for i, g := range groups {
+			shifted[i] = make([]float64, len(g))
+			for j, v := range g {
+				shifted[i][j] = v + dc
+			}
+		}
+		got, err := leakage.SNR(shifted)
+		if err != nil {
+			c.Fatalf("SNR(shifted): %v", err)
+		}
+		rel := math.Abs(got-base) / math.Max(math.Abs(base), 1e-12)
+		if rel > 1e-6 {
+			c.Errorf("SNR moved under DC offset: %v -> %v (rel %v)", base, got, rel)
+		}
+	})
+}
+
+// TestPropSNRScaleInvariant: scaling every sample by the same factor
+// scales signal and noise variance identically, so SNR is unchanged.
+func TestPropSNRScaleInvariant(t *testing.T) {
+	check.Forall(t, genManyGroups(), func(c *check.T, groups [][]float64) {
+		base, err := leakage.SNR(groups)
+		if err != nil {
+			c.Fatalf("SNR: %v", err)
+		}
+		const k = 7.5
+		scaled := make([][]float64, len(groups))
+		for i, g := range groups {
+			scaled[i] = make([]float64, len(g))
+			for j, v := range g {
+				scaled[i][j] = k * v
+			}
+		}
+		got, err := leakage.SNR(scaled)
+		if err != nil {
+			c.Fatalf("SNR(scaled): %v", err)
+		}
+		rel := math.Abs(got-base) / math.Max(math.Abs(base), 1e-12)
+		if rel > 1e-6 {
+			c.Errorf("SNR moved under uniform scale: %v -> %v (rel %v)", base, got, rel)
+		}
+	})
+}
+
+// TestPropWelchTDetectsPlantedShift: a metamorphic direction check —
+// pushing one group's mean far from the other must grow |t|, and two
+// identical groups give t = 0.
+func TestPropWelchTDetectsPlantedShift(t *testing.T) {
+	check.Forall(t, genTwoGroups(), func(c *check.T, g twoGroups) {
+		self, err := leakage.WelchT(g.a, g.a)
+		if err != nil {
+			c.Fatalf("WelchT(a,a): %v", err)
+		}
+		if self != 0 {
+			c.Errorf("t(a,a) = %v, want 0", self)
+		}
+		near, err := leakage.WelchT(g.a, g.b)
+		if err != nil {
+			c.Fatalf("WelchT(a,b): %v", err)
+		}
+		far := make([]float64, len(g.b))
+		for i, v := range g.b {
+			far[i] = v + 1000
+		}
+		tFar, err := leakage.WelchT(g.a, far)
+		if err != nil {
+			c.Fatalf("WelchT(a, far): %v", err)
+		}
+		if math.Abs(tFar) <= math.Abs(near) {
+			c.Errorf("planted 1000-unit shift did not grow |t|: %v -> %v", near, tFar)
+		}
+	})
+}

@@ -1,0 +1,227 @@
+package ledger_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/obs/ledger"
+)
+
+// genManifest builds random manifests with finite figures (canonical
+// JSON cannot carry NaN/Inf) plus wall-clock-dependent counters, the
+// full surface Canonicalize must scrub.
+func genManifest() check.Gen[ledger.Manifest] {
+	return check.Gen[ledger.Manifest]{
+		Generate: func(r *rand.Rand, _ int) ledger.Manifest {
+			f := func() float64 { return -1e6 + 2e6*r.Float64() }
+			counters := map[string]int64{
+				"sim.ticks":            r.Int63n(1 << 40),
+				"sensor.samples":       r.Int63n(1 << 30),
+				"attacker.walltime_ns": r.Int63(), // must be stripped
+			}
+			return ledger.Manifest{
+				SchemaVersion: ledger.SchemaVersion,
+				Tool:          "amperebleed",
+				Command:       []string{"characterize", "covert", "leakassess"}[r.Intn(3)],
+				Args:          []string{fmt.Sprintf("-levels=%d", r.Intn(30))},
+				Board:         "zcu102",
+				Seed:          r.Int63(),
+				FaultProfile:  []string{"", "flaky-sysfs", "hostile"}[r.Intn(3)],
+				Workers:       r.Intn(32),
+				GoVersion:     fmt.Sprintf("go1.%d", 20+r.Intn(5)),
+				StartedAt:     time.Unix(r.Int63n(1e9), 0),
+				WallSeconds:   r.Float64() * 100,
+				SimSeconds:    r.Float64() * 10,
+				Figures: ledger.Figures{
+					LeakageSNR:       f(),
+					LeakageT:         f(),
+					CovertBER:        r.Float64(),
+					CovertBitsPerSec: f(),
+					FingerprintTop1:  r.Float64(),
+					FingerprintTop5:  r.Float64(),
+					Counters:         counters,
+				},
+			}
+		},
+		Describe: func(m ledger.Manifest) string {
+			return fmt.Sprintf("Manifest{cmd=%s seed=%d workers=%d}", m.Command, m.Seed, m.Workers)
+		},
+	}
+}
+
+// TestPropCanonicalizeIdempotent: canonicalizing twice is the same as
+// once — Canonicalize is a projection, so re-reading a canonical
+// manifest and canonicalizing again cannot change it.
+func TestPropCanonicalizeIdempotent(t *testing.T) {
+	check.Forall(t, genManifest(), func(c *check.T, m ledger.Manifest) {
+		once, err := ledger.CanonicalJSON(m)
+		if err != nil {
+			c.Fatalf("CanonicalJSON: %v", err)
+		}
+		twice, err := ledger.CanonicalJSON(ledger.Canonicalize(m))
+		if err != nil {
+			c.Fatalf("CanonicalJSON(Canonicalize): %v", err)
+		}
+		if !bytes.Equal(once, twice) {
+			c.Errorf("not idempotent:\n once %s\ntwice %s", once, twice)
+		}
+	})
+}
+
+// TestPropCanonicalizeStripsScheduling: two manifests of the same
+// measurement that differ arbitrarily in scheduling metadata (args,
+// workers, go version, start time, wall clock, walltime counters)
+// canonicalize to byte-identical JSON.
+func TestPropCanonicalizeStripsScheduling(t *testing.T) {
+	check.Forall(t, genManifest(), func(c *check.T, m ledger.Manifest) {
+		variant := m
+		variant.Args = []string{"-totally", "-different"}
+		variant.Workers = m.Workers + 13
+		variant.GoVersion = "go9.99"
+		variant.StartedAt = m.StartedAt.Add(87 * time.Hour)
+		variant.WallSeconds = m.WallSeconds * 17
+		variant.Figures.Counters = map[string]int64{}
+		for k, v := range m.Figures.Counters {
+			variant.Figures.Counters[k] = v
+		}
+		variant.Figures.Counters["attacker.walltime_ns"] = 424242
+
+		a, err := ledger.CanonicalJSON(m)
+		if err != nil {
+			c.Fatalf("CanonicalJSON: %v", err)
+		}
+		b, err := ledger.CanonicalJSON(variant)
+		if err != nil {
+			c.Fatalf("CanonicalJSON(variant): %v", err)
+		}
+		if !bytes.Equal(a, b) {
+			c.Errorf("scheduling metadata leaked into canonical form:\n%s\n%s", a, b)
+		}
+	})
+}
+
+// TestPropCanonicalizeAbsorbsAccumulationNoise: figures that differ
+// only below the 9-significant-digit rounding floor — the
+// accumulation-order noise scheduling introduces — canonicalize
+// identically.
+func TestPropCanonicalizeAbsorbsAccumulationNoise(t *testing.T) {
+	check.Forall(t, genManifest(), func(c *check.T, m ledger.Manifest) {
+		noisy := m
+		jitter := func(v float64) float64 { return v * (1 + 1e-13) }
+		noisy.SimSeconds = jitter(m.SimSeconds)
+		noisy.Figures.LeakageSNR = jitter(m.Figures.LeakageSNR)
+		noisy.Figures.CovertBitsPerSec = jitter(m.Figures.CovertBitsPerSec)
+
+		a, err := ledger.CanonicalJSON(m)
+		if err != nil {
+			c.Fatalf("CanonicalJSON: %v", err)
+		}
+		b, err := ledger.CanonicalJSON(noisy)
+		if err != nil {
+			c.Fatalf("CanonicalJSON(noisy): %v", err)
+		}
+		if !bytes.Equal(a, b) {
+			c.Errorf("sub-rounding-floor jitter changed the canonical form:\n%s\n%s", a, b)
+		}
+	})
+}
+
+// experiment is a randomized characterize configuration — the
+// generalization of the fixed-seed workers-determinism test to
+// arbitrary (seed, size, fault profile) points.
+type experiment struct {
+	seed    int64
+	levels  int
+	samples int
+	preset  string
+}
+
+func genExperiment() check.Gen[experiment] {
+	presets := []string{"none", "flaky-sysfs", "stale-sensor", "noisy-sched", "hostile"}
+	return check.Gen[experiment]{
+		Generate: func(r *rand.Rand, _ int) experiment {
+			return experiment{
+				seed:    1 + r.Int63n(1_000_000),
+				levels:  3 + r.Intn(3),
+				samples: 2 + r.Intn(4),
+				preset:  presets[r.Intn(len(presets))],
+			}
+		},
+		Describe: func(e experiment) string {
+			return fmt.Sprintf("experiment{seed=%d levels=%d samples=%d faults=%s}", e.seed, e.levels, e.samples, e.preset)
+		},
+	}
+}
+
+// TestPropManifestDeterministicAcrossWorkers holds the package-doc
+// promise for RANDOM experiments, not just the pinned seed: workers
+// 1, 4, and 16 canonicalize to byte-identical manifests for any
+// (seed, size, fault profile).
+func TestPropManifestDeterministicAcrossWorkers(t *testing.T) {
+	defer obs.Default.Reset()
+	check.Forall(t, genExperiment(), func(c *check.T, e experiment) {
+		profile, err := faults.Preset(e.preset)
+		if err != nil {
+			c.Fatalf("Preset(%s): %v", e.preset, err)
+		}
+		c.Classify(profile.Enabled(), "faulted")
+		var want []byte
+		wantErr := ""
+		for _, workers := range []int{1, 4, 16} {
+			obs.Default.Reset()
+			_, runErr := core.Characterize(core.CharacterizeConfig{
+				Seed:            e.seed,
+				Levels:          e.levels,
+				SamplesPerLevel: e.samples,
+				Parallelism:     workers,
+				Faults:          &profile,
+			})
+			if workers == 1 && runErr != nil {
+				// A hostile profile can legitimately kill a tiny
+				// experiment (every sample of a level lost). The
+				// determinism contract still applies: every worker
+				// count must fail the same way.
+				c.Label("degenerate-experiment")
+				wantErr = runErr.Error()
+				continue
+			}
+			if wantErr != "" {
+				if runErr == nil || runErr.Error() != wantErr {
+					c.Fatalf("workers=%d error diverged:\n got %v\nwant %s", workers, runErr, wantErr)
+				}
+				continue
+			}
+			if runErr != nil {
+				c.Fatalf("characterize (workers=%d): %v", workers, runErr)
+			}
+			m := ledger.New(ledger.RunInfo{
+				Tool:         "amperebleed",
+				Command:      "characterize",
+				Board:        "zcu102",
+				Seed:         e.seed,
+				FaultProfile: e.preset,
+				Workers:      workers,
+				Started:      time.Now(),
+			}, obs.Default.Snapshot())
+			got, err := ledger.CanonicalJSON(m)
+			if err != nil {
+				c.Fatalf("CanonicalJSON: %v", err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				c.Fatalf("workers=%d canonical manifest differs for %s:\n got %s\nwant %s",
+					workers, e.preset, got, want)
+			}
+		}
+	}, check.Iters(100))
+}

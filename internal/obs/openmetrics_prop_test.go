@@ -1,0 +1,116 @@
+package obs_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/obs"
+	"repro/internal/obs/openmetrics"
+)
+
+// registryContents describes a randomized registry population:
+// hostile metric names (spaces, dashes, unicode, empties) with random
+// counter/gauge/histogram values.
+type registryContents struct {
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string][]float64
+}
+
+func genRegistryContents() check.Gen[registryContents] {
+	nameParts := []string{"attacker", "sample rate", "covert-ber", "sysfs/read", "über", "", "leakage.snr", "99bottles"}
+	genName := func(r *rand.Rand) string {
+		a := nameParts[r.Intn(len(nameParts))]
+		b := nameParts[r.Intn(len(nameParts))]
+		return a + "." + b
+	}
+	return check.Gen[registryContents]{
+		Generate: func(r *rand.Rand, size int) registryContents {
+			rc := registryContents{
+				counters: map[string]int64{},
+				gauges:   map[string]float64{},
+				hists:    map[string][]float64{},
+			}
+			for i := 0; i < 1+r.Intn(6); i++ {
+				rc.counters[genName(r)] = r.Int63n(1 << 40)
+			}
+			for i := 0; i < 1+r.Intn(6); i++ {
+				rc.gauges[genName(r)] = -1e9 + 2e9*r.Float64()
+			}
+			for i := 0; i < r.Intn(4); i++ {
+				obsv := make([]float64, 1+r.Intn(50))
+				for j := range obsv {
+					obsv[j] = r.Float64() * 1e6
+				}
+				rc.hists[genName(r)] = obsv
+			}
+			return rc
+		},
+		Describe: func(rc registryContents) string {
+			return fmt.Sprintf("registry{%d counters, %d gauges, %d hists}",
+				len(rc.counters), len(rc.gauges), len(rc.hists))
+		},
+	}
+}
+
+func populate(rc registryContents) *obs.Registry {
+	reg := obs.NewRegistry()
+	for name, v := range rc.counters {
+		reg.Counter(name).Add(v)
+	}
+	for name, v := range rc.gauges {
+		reg.Gauge(name).Set(v)
+	}
+	for name, vs := range rc.hists {
+		h := reg.Histogram(name)
+		for _, v := range vs {
+			h.Observe(v)
+		}
+	}
+	return reg
+}
+
+// TestPropOpenMetricsAlwaysParses: whatever metric names and values a
+// run produces — including names with spaces, slashes, and unicode —
+// the exposition WriteOpenMetrics emits must be accepted by the
+// repo's own strict OpenMetrics parser and validator. This is the
+// scrape-correctness contract: a registry state that renders an
+// invalid exposition would break every monitoring consumer silently.
+func TestPropOpenMetricsAlwaysParses(t *testing.T) {
+	check.Forall(t, genRegistryContents(), func(c *check.T, rc registryContents) {
+		var buf bytes.Buffer
+		if err := populate(rc).WriteOpenMetrics(&buf); err != nil {
+			c.Fatalf("WriteOpenMetrics: %v", err)
+		}
+		exp, err := openmetrics.Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			c.Fatalf("exposition rejected by parser: %v\n%s", err, buf.String())
+		}
+		if err := exp.Validate(); err != nil {
+			c.Fatalf("exposition failed validation: %v\n%s", err, buf.String())
+		}
+	})
+}
+
+// TestPropSanitizeIdempotentAndValid: sanitizing is idempotent and
+// always lands in the exposition's legal name charset.
+func TestPropSanitizeIdempotentAndValid(t *testing.T) {
+	hostile := check.SliceOf(check.IntRange(0, 0x10FFFF), 0, 24)
+	check.Forall(t, hostile, func(c *check.T, codepoints []int64) {
+		runes := make([]rune, len(codepoints))
+		for i, cp := range codepoints {
+			runes[i] = rune(cp)
+		}
+		name := string(runes)
+		s1 := obs.SanitizeMetricName(name)
+		if !openmetrics.ValidName(s1) {
+			c.Fatalf("SanitizeMetricName(%q) = %q, not a valid exposition name", name, s1)
+		}
+		if s2 := obs.SanitizeMetricName(s1); s2 != s1 {
+			c.Errorf("not idempotent: %q -> %q -> %q", name, s1, s2)
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package runner_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/runner"
+)
+
+// campaign is a randomized campaign description: a root seed and a set
+// of shard keys, some of which are marked to panic.
+type campaign struct {
+	seed   int64
+	keys   []string
+	panics map[string]bool
+}
+
+func genCampaign(withPanics bool) check.Gen[campaign] {
+	return check.Gen[campaign]{
+		Generate: func(r *rand.Rand, size int) campaign {
+			n := 1 + r.Intn(1+size/4)
+			c := campaign{seed: r.Int63(), panics: map[string]bool{}}
+			for i := 0; i < n; i++ {
+				key := fmt.Sprintf("shard-%03d", i)
+				c.keys = append(c.keys, key)
+				if withPanics && r.Intn(4) == 0 {
+					c.panics[key] = true
+				}
+			}
+			return c
+		},
+		Describe: func(c campaign) string {
+			return fmt.Sprintf("campaign{seed=%d shards=%d panics=%d}", c.seed, len(c.keys), len(c.panics))
+		},
+	}
+}
+
+// pureShards builds shards whose value is a pure function of the
+// shard's Info — the determinism contract every real campaign (and the
+// ledger's canonical manifests) relies on.
+func pureShards(c campaign) []runner.Shard[string] {
+	shards := make([]runner.Shard[string], len(c.keys))
+	for i, key := range c.keys {
+		shards[i] = runner.Shard[string]{
+			Key: key,
+			Run: func(ctx context.Context, info runner.Info) (string, error) {
+				if c.panics[info.Key] {
+					panic("planted shard panic")
+				}
+				// Deterministic per-shard work driven only by the seed.
+				r := rand.New(rand.NewSource(info.Seed))
+				return fmt.Sprintf("%s:%d:%d", info.Key, info.Index, r.Int63()), nil
+			},
+		}
+	}
+	return shards
+}
+
+// TestPropWorkersInvariant generalizes the fixed-seed determinism
+// tests: for ANY random campaign of pure shards, workers 1, 4, and 16
+// yield identical values in identical (submission) order.
+func TestPropWorkersInvariant(t *testing.T) {
+	check.Forall(t, genCampaign(false), func(c *check.T, camp campaign) {
+		var base []string
+		for _, workers := range []int{1, 4, 16} {
+			results, err := runner.Run(context.Background(), runner.Config{
+				Name: "prop", Seed: camp.seed, Workers: workers,
+			}, pureShards(camp))
+			if err != nil {
+				c.Fatalf("Run(workers=%d): %v", workers, err)
+			}
+			if ferr := runner.FirstErr(results); ferr != nil {
+				c.Fatalf("workers=%d: unexpected shard error: %v", workers, ferr)
+			}
+			vals := runner.Values(results)
+			if base == nil {
+				base = vals
+				continue
+			}
+			if len(vals) != len(base) {
+				c.Fatalf("workers=%d returned %d results, want %d", workers, len(vals), len(base))
+			}
+			for i := range vals {
+				if vals[i] != base[i] {
+					c.Errorf("workers=%d result[%d] = %q, workers=1 got %q", workers, i, vals[i], base[i])
+				}
+			}
+		}
+	})
+}
+
+// TestPropPanicIsolation: panicking shards surface as *PanicError on
+// their own result and never disturb their neighbours' values.
+func TestPropPanicIsolation(t *testing.T) {
+	check.Forall(t, genCampaign(true), func(c *check.T, camp campaign) {
+		c.Classify(len(camp.panics) > 0, "has-panics")
+		results, err := runner.Run(context.Background(), runner.Config{
+			Name: "prop", Seed: camp.seed, Workers: 4,
+		}, pureShards(camp))
+		if err != nil {
+			c.Fatalf("Run: %v", err)
+		}
+		if len(results) != len(camp.keys) {
+			c.Fatalf("got %d results for %d shards", len(results), len(camp.keys))
+		}
+		for _, res := range results {
+			if camp.panics[res.Key] {
+				var pe *runner.PanicError
+				if !errors.As(res.Err, &pe) {
+					c.Errorf("shard %s planted to panic, err = %v", res.Key, res.Err)
+				}
+				continue
+			}
+			if res.Err != nil {
+				c.Errorf("healthy shard %s got err %v", res.Key, res.Err)
+			}
+			want := fmt.Sprintf("%s:%d:%d", res.Key, res.Index,
+				rand.New(rand.NewSource(runner.ShardSeed(camp.seed, res.Key))).Int63())
+			if res.Value != want {
+				c.Errorf("shard %s value perturbed by neighbour panics: %q != %q", res.Key, res.Value, want)
+			}
+		}
+	})
+}
+
+// TestPropShardSeedStability: shard seeds depend only on (root, key) —
+// never on index, worker count, or neighbours — and distinct keys
+// decorrelate.
+func TestPropShardSeedStability(t *testing.T) {
+	check.Forall(t, genCampaign(false), func(c *check.T, camp campaign) {
+		seen := map[int64]string{}
+		for _, key := range camp.keys {
+			s1 := runner.ShardSeed(camp.seed, key)
+			s2 := runner.ShardSeed(camp.seed, key)
+			if s1 != s2 {
+				c.Errorf("ShardSeed not stable for %q: %d vs %d", key, s1, s2)
+			}
+			if prev, dup := seen[s1]; dup {
+				c.Errorf("keys %q and %q collide on seed %d", prev, key, s1)
+			}
+			seen[s1] = key
+		}
+	})
+}

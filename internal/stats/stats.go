@@ -5,6 +5,10 @@
 // All functions operate on float64 slices and never mutate their inputs
 // unless documented otherwise. Functions that are undefined for empty
 // input return an error rather than NaN so callers surface misuse early.
+// The same contract covers contaminated input: any NaN or ±Inf sample
+// (a trace gap that was not stripped with Trace.Finite, or sensor
+// garbage) yields ErrNonFinite instead of silently propagating NaN
+// through a mean or correlation into a report.
 package stats
 
 import (
@@ -24,10 +28,28 @@ var ErrLengthMismatch = errors.New("stats: sample length mismatch")
 // the samples has zero variance.
 var ErrDegenerate = errors.New("stats: degenerate (zero-variance) sample")
 
+// ErrNonFinite is returned when a sample contains NaN or ±Inf. Trace
+// gaps are NaN by convention (trace.Gap); strip them with
+// Trace.Finite before computing statistics.
+var ErrNonFinite = errors.New("stats: non-finite sample (NaN or Inf)")
+
+// checkFinite returns ErrNonFinite if any element of xs is NaN or ±Inf.
+func checkFinite(xs []float64) error {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return ErrNonFinite
+		}
+	}
+	return nil
+}
+
 // Mean returns the arithmetic mean of xs.
 func Mean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
+	}
+	if err := checkFinite(xs); err != nil {
+		return 0, err
 	}
 	sum := 0.0
 	for _, x := range xs {
@@ -37,7 +59,7 @@ func Mean(xs []float64) (float64, error) {
 }
 
 // MustMean is Mean for callers that have already validated their input;
-// it panics on empty input.
+// it panics on empty or non-finite input.
 func MustMean(xs []float64) float64 {
 	m, err := Mean(xs)
 	if err != nil {
@@ -93,6 +115,9 @@ func MinMax(xs []float64) (min, max float64, err error) {
 	if len(xs) == 0 {
 		return 0, 0, ErrEmpty
 	}
+	if err := checkFinite(xs); err != nil {
+		return 0, 0, err
+	}
 	min, max = xs[0], xs[0]
 	for _, x := range xs[1:] {
 		if x < min {
@@ -124,6 +149,12 @@ func Pearson(xs, ys []float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
+	if err := checkFinite(xs); err != nil {
+		return 0, err
+	}
+	if err := checkFinite(ys); err != nil {
+		return 0, err
+	}
 	mx := MustMean(xs)
 	my := MustMean(ys)
 	var sxy, sxx, syy float64
@@ -151,6 +182,13 @@ func Spearman(xs, ys []float64) (float64, error) {
 	}
 	if len(xs) == 0 {
 		return 0, ErrEmpty
+	}
+	// Validate before ranking: NaN breaks the sort order silently.
+	if err := checkFinite(xs); err != nil {
+		return 0, err
+	}
+	if err := checkFinite(ys); err != nil {
+		return 0, err
 	}
 	return Pearson(ranks(xs), ranks(ys))
 }
@@ -195,6 +233,12 @@ func FitLine(xs, ys []float64) (LinearFit, error) {
 	if len(xs) < 2 {
 		return LinearFit{}, ErrEmpty
 	}
+	if err := checkFinite(xs); err != nil {
+		return LinearFit{}, err
+	}
+	if err := checkFinite(ys); err != nil {
+		return LinearFit{}, err
+	}
 	mx := MustMean(xs)
 	my := MustMean(ys)
 	var sxy, sxx, syy float64
@@ -231,6 +275,9 @@ func Quantile(xs []float64, q float64) (float64, error) {
 	}
 	if q < 0 || q > 1 {
 		return 0, errors.New("stats: quantile out of [0,1]")
+	}
+	if err := checkFinite(xs); err != nil {
+		return 0, err
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
@@ -294,7 +341,12 @@ func Histogram(xs []float64, n int) (counts []int, width float64, err error) {
 	if n <= 0 {
 		return nil, 0, errors.New("stats: non-positive bin count")
 	}
-	min, max, _ := MinMax(xs)
+	// MinMax re-checks emptiness but can now also fail on NaN/Inf, so
+	// its error is no longer safe to drop on the floor.
+	min, max, err := MinMax(xs)
+	if err != nil {
+		return nil, 0, err
+	}
 	counts = make([]int, n)
 	if min == max {
 		counts[0] = len(xs)

@@ -1,0 +1,230 @@
+package stats_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/stats"
+)
+
+// finiteFloats generates all-finite slices in a range small enough
+// that shift/scale transforms stay well-conditioned.
+func finiteFloats(minLen int) check.Gen[[]float64] {
+	return check.Floats(check.FloatsConfig{MinLen: minLen, MaxLen: 64, Min: -100, Max: 100})
+}
+
+// contaminated generates slices guaranteed to hold at least one NaN or
+// Inf by construction (a poisoned element appended at a random-ish
+// position would break shrink determinism, so poison the generator's
+// rates and discard clean draws instead).
+var contaminated = check.Floats(check.FloatsConfig{MinLen: 1, MaxLen: 32, NaNRate: 0.15, InfRate: 0.1})
+
+func hasNonFinite(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// relClose compares with a relative tolerance scaled to the operand
+// magnitudes, the right equality for algebraically-identical
+// floating-point pipelines.
+func relClose(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= tol*scale
+}
+
+// TestPropMeanShiftScaleEquivariant: mean(a·x + b) = a·mean(x) + b.
+func TestPropMeanShiftScaleEquivariant(t *testing.T) {
+	check.Forall(t, finiteFloats(1), func(c *check.T, xs []float64) {
+		const a, b = 2.5, -17.0
+		m, err := stats.Mean(xs)
+		if err != nil {
+			c.Fatalf("Mean: %v", err)
+		}
+		tx := make([]float64, len(xs))
+		for i, x := range xs {
+			tx[i] = a*x + b
+		}
+		tm, err := stats.Mean(tx)
+		if err != nil {
+			c.Fatalf("Mean(transformed): %v", err)
+		}
+		if !relClose(tm, a*m+b, 1e-9) {
+			c.Errorf("mean not equivariant: mean(a·x+b)=%v, a·mean+b=%v", tm, a*m+b)
+		}
+	})
+}
+
+// TestPropVarianceShiftInvariantScaleQuadratic: var(x + b) = var(x)
+// and var(a·x) = a²·var(x).
+func TestPropVarianceShiftInvariantScaleQuadratic(t *testing.T) {
+	check.Forall(t, finiteFloats(1), func(c *check.T, xs []float64) {
+		v, err := stats.Variance(xs)
+		if err != nil {
+			c.Fatalf("Variance: %v", err)
+		}
+		c.Classify(v == 0, "zero-variance")
+		shifted := make([]float64, len(xs))
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + 1000
+			scaled[i] = 3 * x
+		}
+		vs, err := stats.Variance(shifted)
+		if err != nil {
+			c.Fatalf("Variance(shifted): %v", err)
+		}
+		if !relClose(vs, v, 1e-6) {
+			c.Errorf("variance not shift-invariant: %v vs %v", vs, v)
+		}
+		vc, err := stats.Variance(scaled)
+		if err != nil {
+			c.Fatalf("Variance(scaled): %v", err)
+		}
+		if !relClose(vc, 9*v, 1e-9) {
+			c.Errorf("variance not quadratic under scale: %v vs %v", vc, 9*v)
+		}
+	})
+}
+
+// TestPropQuantileEquivariantAndMonotone: quantiles are equivariant
+// under positive affine maps, monotone in q, and hit min/max at the
+// extremes.
+func TestPropQuantileEquivariantAndMonotone(t *testing.T) {
+	check.Forall(t, finiteFloats(1), func(c *check.T, xs []float64) {
+		min, max, err := stats.MinMax(xs)
+		if err != nil {
+			c.Fatalf("MinMax: %v", err)
+		}
+		qs := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1}
+		prev := math.Inf(-1)
+		for _, q := range qs {
+			v, err := stats.Quantile(xs, q)
+			if err != nil {
+				c.Fatalf("Quantile(%v): %v", q, err)
+			}
+			if v < prev {
+				c.Errorf("quantile not monotone: Q(%v)=%v < previous %v", q, v, prev)
+			}
+			prev = v
+			// Positive affine equivariance: Q(a·x+b, q) = a·Q(x, q)+b.
+			tx := make([]float64, len(xs))
+			for i, x := range xs {
+				tx[i] = 2*x + 5
+			}
+			tv, err := stats.Quantile(tx, q)
+			if err != nil {
+				c.Fatalf("Quantile(transformed, %v): %v", q, err)
+			}
+			if !relClose(tv, 2*v+5, 1e-9) {
+				c.Errorf("quantile not affine-equivariant at q=%v: %v vs %v", q, tv, 2*v+5)
+			}
+		}
+		if v, _ := stats.Quantile(xs, 0); v != min {
+			c.Errorf("Q(0)=%v != min %v", v, min)
+		}
+		if v, _ := stats.Quantile(xs, 1); v != max {
+			c.Errorf("Q(1)=%v != max %v", v, max)
+		}
+	})
+}
+
+// TestPropNonFiniteRejected pins satellite #1: every statistic rejects
+// NaN/Inf contamination with ErrNonFinite instead of returning NaN.
+func TestPropNonFiniteRejected(t *testing.T) {
+	check.Forall(t, contaminated, func(c *check.T, xs []float64) {
+		if !hasNonFinite(xs) {
+			c.Discard() // clean draw; only contaminated inputs are interesting
+		}
+		c.Classify(len(xs) == 1, "single-element")
+		type result struct {
+			name string
+			err  error
+		}
+		ys := make([]float64, len(xs)) // finite partner for bivariate calls
+		for i := range ys {
+			ys[i] = float64(i)
+		}
+		var results []result
+		_, err := stats.Mean(xs)
+		results = append(results, result{"Mean", err})
+		_, err = stats.Variance(xs)
+		results = append(results, result{"Variance", err})
+		_, err = stats.StdDev(xs)
+		results = append(results, result{"StdDev", err})
+		_, _, err = stats.MinMax(xs)
+		results = append(results, result{"MinMax", err})
+		_, err = stats.Range(xs)
+		results = append(results, result{"Range", err})
+		_, err = stats.Quantile(xs, 0.5)
+		results = append(results, result{"Quantile", err})
+		_, err = stats.Pearson(xs, ys)
+		results = append(results, result{"Pearson(x contaminated)", err})
+		_, err = stats.Pearson(ys, xs)
+		results = append(results, result{"Pearson(y contaminated)", err})
+		_, err = stats.Spearman(xs, ys)
+		results = append(results, result{"Spearman", err})
+		_, err = stats.Summary(xs)
+		results = append(results, result{"Summary", err})
+		_, _, err = stats.Histogram(xs, 8)
+		results = append(results, result{"Histogram", err})
+		if len(xs) >= 2 {
+			_, err = stats.SampleVariance(xs)
+			results = append(results, result{"SampleVariance", err})
+			_, err = stats.FitLine(ys, xs)
+			results = append(results, result{"FitLine", err})
+		}
+		for _, r := range results {
+			if !errors.Is(r.err, stats.ErrNonFinite) {
+				c.Errorf("%s: err = %v, want ErrNonFinite", r.name, r.err)
+			}
+		}
+	})
+}
+
+// TestPropPearsonSymmetricAndBounded: corr(x,y) = corr(y,x) and
+// |corr| <= 1 (allowing a hair of rounding).
+func TestPropPearsonSymmetricAndBounded(t *testing.T) {
+	type pair struct{ xs, ys []float64 }
+	g := check.Gen[pair]{
+		Generate: func(r *rand.Rand, size int) pair {
+			n := 2 + r.Intn(40)
+			xs := make([]float64, n)
+			ys := make([]float64, n)
+			for i := range xs {
+				xs[i] = -50 + 100*r.Float64()
+				ys[i] = -50 + 100*r.Float64()
+			}
+			return pair{xs, ys}
+		},
+	}
+	check.Forall(t, g, func(c *check.T, p pair) {
+		rxy, errXY := stats.Pearson(p.xs, p.ys)
+		ryx, errYX := stats.Pearson(p.ys, p.xs)
+		if errXY != nil || errYX != nil {
+			if errors.Is(errXY, stats.ErrDegenerate) && errors.Is(errYX, stats.ErrDegenerate) {
+				c.Label("degenerate")
+				return
+			}
+			c.Fatalf("Pearson errors: %v / %v", errXY, errYX)
+		}
+		if rxy != ryx {
+			c.Errorf("Pearson not symmetric: %v vs %v", rxy, ryx)
+		}
+		if math.Abs(rxy) > 1+1e-12 {
+			c.Errorf("|corr| = %v > 1", math.Abs(rxy))
+		}
+	})
+}

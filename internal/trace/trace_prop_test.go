@@ -1,0 +1,198 @@
+package trace_test
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/trace"
+)
+
+// gappyTraces generates periodic traces with a dialed-in gap rate, the
+// worst realistic input the DSP layer sees under the hostile fault
+// profile.
+var gappyTraces = check.PeriodicTraces(check.TraceConfig{GapRate: 0.15, Noise: 0.1})
+
+// cleanTraces generates gap-free periodic traces.
+var cleanTraces = check.PeriodicTraces(check.TraceConfig{Noise: 0.1})
+
+// TestPropResampleIdempotent: resampling to the trace's own length is
+// the identity on gap-free traces, and resampling an already-resampled
+// vector to the same width changes nothing (average-pooling with one
+// sample per bin is exact, bit for bit).
+func TestPropResampleIdempotent(t *testing.T) {
+	check.Forall(t, cleanTraces, func(c *check.T, p check.PeriodicTrace) {
+		n := len(p.Trace.Samples)
+		once, err := p.Trace.Resample(n)
+		if err != nil {
+			c.Fatalf("Resample: %v", err)
+		}
+		for i, v := range once {
+			if v != p.Trace.Samples[i] {
+				c.Fatalf("identity resample changed sample %d: %v -> %v", i, p.Trace.Samples[i], v)
+			}
+		}
+		again := &trace.Trace{Interval: p.Trace.Interval, Samples: once}
+		twice, err := again.Resample(n)
+		if err != nil {
+			c.Fatalf("second Resample: %v", err)
+		}
+		for i := range once {
+			if twice[i] != once[i] {
+				c.Errorf("resample not idempotent at %d: %v != %v", i, twice[i], once[i])
+			}
+		}
+	})
+}
+
+// TestPropResampleNeverEmitsNaN: whatever the gap pattern — including
+// leading, trailing, and total loss — the resampled vector is finite.
+// This is the gap-NaN propagation contract: gaps stop at the DSP
+// boundary instead of poisoning the classifier features.
+func TestPropResampleNeverEmitsNaN(t *testing.T) {
+	heavyGaps := check.PeriodicTraces(check.TraceConfig{GapRate: 0.6})
+	check.Forall(t, heavyGaps, func(c *check.T, p check.PeriodicTrace) {
+		n := len(p.Trace.Samples)
+		c.Classify(p.Gaps == n, "all-gaps")
+		c.Classify(p.Gaps > 0 && p.Gaps < n, "partial-gaps")
+		for _, bins := range []int{1, n / 2, n, 2 * n} {
+			if bins < 1 {
+				continue
+			}
+			out, err := p.Trace.Resample(bins)
+			if err != nil {
+				c.Fatalf("Resample(%d): %v", bins, err)
+			}
+			if len(out) != bins {
+				c.Fatalf("Resample(%d) returned %d bins", bins, len(out))
+			}
+			for i, v := range out {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					c.Errorf("Resample(%d)[%d] = %v with %d/%d gaps", bins, i, v, p.Gaps, n)
+				}
+			}
+		}
+	})
+}
+
+// TestPropGapsFiniteAccounting: Gaps() + len(Finite()) always equals
+// the sample count, and Finite never returns a non-finite value.
+func TestPropGapsFiniteAccounting(t *testing.T) {
+	check.Forall(t, gappyTraces, func(c *check.T, p check.PeriodicTrace) {
+		tr := p.Trace
+		fin := tr.Finite()
+		if tr.Gaps()+len(fin) != len(tr.Samples) {
+			c.Errorf("Gaps(%d) + Finite(%d) != samples(%d)", tr.Gaps(), len(fin), len(tr.Samples))
+		}
+		for _, v := range fin {
+			if math.IsNaN(v) {
+				c.Errorf("Finite() leaked a NaN")
+			}
+		}
+	})
+}
+
+// TestPropSpectrumParsevalBound: the Goertzel magnitudes are bounded
+// by the signal's energy. With the ×2/n one-sided normalization,
+// Σ_k mag_k² ≤ (2/n)·Σ_j (x_j − mean)² over finite samples — an
+// energy-conservation sanity bound that catches normalization and
+// accumulation bugs for every trace, not just goldens.
+func TestPropSpectrumParsevalBound(t *testing.T) {
+	check.Forall(t, gappyTraces, func(c *check.T, p check.PeriodicTrace) {
+		tr := p.Trace
+		fin := tr.Finite()
+		if len(fin) < 2 {
+			c.Discard()
+		}
+		n := len(tr.Samples)
+		bins := n / 4
+		if bins < 1 {
+			bins = 1
+		}
+		mags, err := tr.Spectrum(bins)
+		if err != nil {
+			c.Fatalf("Spectrum(%d): %v", bins, err)
+		}
+		mean := 0.0
+		for _, v := range fin {
+			mean += v
+		}
+		mean /= float64(len(fin))
+		energy := 0.0
+		for _, v := range fin {
+			d := v - mean
+			energy += d * d
+		}
+		bound := 2 / float64(n) * energy
+		total := 0.0
+		for k, m := range mags {
+			if math.IsNaN(m) || math.IsInf(m, 0) {
+				c.Fatalf("spectrum bin %d non-finite: %v", k, m)
+			}
+			total += m * m
+		}
+		// Gap substitution redistributes a little energy; allow 1e-9
+		// relative slack for rounding on top of the analytic bound.
+		if total > bound*(1+1e-9)+1e-12 {
+			c.Errorf("Parseval bound violated: Σmag² = %v > (2/n)·energy = %v (gaps %d/%d)",
+				total, bound, p.Gaps, n)
+		}
+	})
+}
+
+// TestPropSpectrumPeakAtPlantedBin: for a clean planted tone, the
+// dominant spectrum bin is exactly the generator's bin.
+func TestPropSpectrumPeakAtPlantedBin(t *testing.T) {
+	pure := check.PeriodicTraces(check.TraceConfig{})
+	check.Forall(t, pure, func(c *check.T, p check.PeriodicTrace) {
+		bins := len(p.Trace.Samples) / 4
+		mags, err := p.Trace.Spectrum(bins)
+		if err != nil {
+			c.Fatalf("Spectrum: %v", err)
+		}
+		// mags[i] is DFT coefficient i+1 (DC excluded).
+		best := 0
+		for i := range mags {
+			if mags[i] > mags[best] {
+				best = i
+			}
+		}
+		if best+1 != p.Bin {
+			c.Errorf("dominant bin %d, planted %d (n=%d)", best+1, p.Bin, len(p.Trace.Samples))
+		}
+	})
+}
+
+// TestPropPersistRoundTrip: JSON marshal → unmarshal is the identity,
+// including gap positions (NaN survives the null encoding) and the
+// sampling interval.
+func TestPropPersistRoundTrip(t *testing.T) {
+	check.Forall(t, gappyTraces, func(c *check.T, p check.PeriodicTrace) {
+		blob, err := json.Marshal(p.Trace)
+		if err != nil {
+			c.Fatalf("Marshal: %v", err)
+		}
+		var back trace.Trace
+		if err := json.Unmarshal(blob, &back); err != nil {
+			c.Fatalf("Unmarshal: %v", err)
+		}
+		if back.Interval != p.Trace.Interval {
+			c.Errorf("interval changed: %s -> %s", p.Trace.Interval, back.Interval)
+		}
+		if len(back.Samples) != len(p.Trace.Samples) {
+			c.Fatalf("length changed: %d -> %d", len(p.Trace.Samples), len(back.Samples))
+		}
+		for i, want := range p.Trace.Samples {
+			got := back.Samples[i]
+			switch {
+			case trace.IsGap(want):
+				if !trace.IsGap(got) {
+					c.Errorf("gap at %d became %v", i, got)
+				}
+			case got != want:
+				c.Errorf("sample %d changed: %v -> %v", i, want, got)
+			}
+		}
+	})
+}
