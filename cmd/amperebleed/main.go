@@ -28,6 +28,8 @@
 //	robustness [-profile]      accuracy-vs-fault-rate sweep under injected faults
 //	runs [-ledger]             list, filter and diff recorded run manifests
 //	top [-addr]                live terminal dashboard of a running attack
+//	serve [-addr]              HTTP job API with admission control and drain
+//	resume <checkpoint>        continue an interrupted supervised run
 //
 // The global -faults flag (none|flaky-sysfs|stale-sensor|noisy-sched|
 // hostile) injects deterministic sensor and scheduler faults into every
@@ -41,6 +43,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +55,8 @@ import (
 	"repro/internal/dpu"
 	"repro/internal/faults"
 	"repro/internal/imagenet"
+	"repro/internal/jobs"
+	"repro/internal/jobs/kinds"
 	"repro/internal/obs"
 	"repro/internal/obs/export"
 	"repro/internal/obs/ledger"
@@ -65,8 +70,19 @@ import (
 // each subcommand's private flag set; handlers report it via noteRun
 // right after parsing their flags.
 var runMeta struct {
-	seed    int64
-	workers int
+	seed          int64
+	workers       int
+	runID         string
+	parentRunID   string
+	resumedShards int
+	// command/faultProfile/faultIntensity, when set, override what the
+	// manifest records: `resume` reports the experiment it continued
+	// (kind and fault profile from the checkpoint), not itself, so a
+	// resumed run's canonical manifest is comparable with the
+	// uninterrupted run it completes.
+	command        string
+	faultProfile   string
+	faultIntensity float64
 }
 
 // noteRun records the seed and worker count a command handler resolved
@@ -76,7 +92,37 @@ func noteRun(seed int64, workers int) {
 	runMeta.workers = workers
 }
 
-func main() {
+// noteLineage records a supervised run's resume lineage for the
+// manifest: which run this one continues and how many shards it
+// replayed from the checkpoint.
+func noteLineage(runID, parentRunID string, resumedShards int) {
+	runMeta.runID = runID
+	runMeta.parentRunID = parentRunID
+	runMeta.resumedShards = resumedShards
+}
+
+// noteResumedSpec records the identity of the run a checkpoint
+// continues, overriding the manifest's command and fault fields.
+func noteResumedSpec(kind, faultProfile string, faultIntensity float64) {
+	runMeta.command = kind
+	runMeta.faultProfile = faultProfile
+	runMeta.faultIntensity = faultIntensity
+}
+
+// faultSpec keeps the raw global fault flags for commands that route
+// through the job engine, whose checkpoints record the profile by name
+// and intensity rather than as a resolved rate table.
+var faultSpec struct {
+	name      string
+	intensity float64
+}
+
+func main() { os.Exit(run()) }
+
+// run is main behind an exit code, so the ledger, trace export and
+// obs-hold deferred work all still happen when a command fails or is
+// interrupted — a cancelled run flushes everything it measured.
+func run() int {
 	// Global observability flags precede the command:
 	//
 	//	amperebleed [-obs] [-obs-addr host:port] <command> [flags]
@@ -101,25 +147,34 @@ func main() {
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	if err := (runFlags{FaultIntensity: *faultIntensity, ObsHold: *obsHold}).validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "amperebleed: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	start := time.Now()
 	if err := olog.Setup(*logLevel, *logFormat, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "amperebleed: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	olog.SetRunID(fmt.Sprintf("%s-%d-%d", cmd, os.Getpid(), start.Unix()))
 	profile, err := parseFaults(*faultsName, *faultIntensity)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "amperebleed: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
+	faultSpec.name, faultSpec.intensity = *faultsName, *faultIntensity
+	// Two-stage shutdown: the first SIGINT/SIGTERM cancels runCtx so the
+	// command winds down and the tail below still flushes the ledger,
+	// trace and checkpoints; a second signal aborts immediately.
+	sigCh, stopNotify := notifyInterrupts()
+	defer stopNotify()
+	runCtx, stopSignals := watchSignals(context.Background(), sigCh, os.Exit)
+	defer stopSignals()
 	if *obsAddr != "" {
 		serveCtx, stopServe := context.WithCancel(context.Background())
 		bound, shutdown, err := obs.Serve(serveCtx, *obsAddr, obs.Default)
 		if err != nil {
+			stopServe()
 			fmt.Fprintf(os.Stderr, "amperebleed: obs server: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		// Health rules watch the run while the server is up; violations
 		// land in the structured log at warn and on /healthz.
@@ -149,7 +204,7 @@ func main() {
 	case "watch":
 		err = cmdWatch(args)
 	case "characterize":
-		err = cmdCharacterize(args, profile)
+		err = cmdCharacterize(runCtx, args, profile)
 	case "fingerprint":
 		err = cmdFingerprint(args, profile)
 	case "rsa":
@@ -176,21 +231,29 @@ func main() {
 		err = cmdRuns(args)
 	case "top":
 		err = cmdTop(args, profile)
+	case "serve":
+		err = cmdServe(runCtx, args)
+	case "resume":
+		err = cmdResume(runCtx, args)
 	case "help", "-h", "--help":
 		usage()
 	default:
 		fmt.Fprintf(os.Stderr, "amperebleed: unknown command %q\n", cmd)
 		usage()
-		os.Exit(2)
+		return 2
 	}
+	// From here on the run flushes even when the command failed or was
+	// interrupted: a checkpointed run's partial measurements are exactly
+	// what `resume` and post-mortem ledger diffs need.
+	code := 0
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "amperebleed: %v\n", err)
-		os.Exit(1)
+		code = 1
 	}
 	if *traceOut != "" {
 		if err := export.WriteFile(*traceOut, obs.Default.Snapshot()); err != nil {
 			fmt.Fprintf(os.Stderr, "amperebleed: trace export: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "trace timeline written to %s\n", *traceOut)
 	}
@@ -201,21 +264,32 @@ func main() {
 			faultProfile = *faultsName
 			intensity = *faultIntensity
 		}
+		manifestCmd := cmd
+		if runMeta.command != "" {
+			manifestCmd = runMeta.command
+		}
+		if runMeta.faultProfile != "" {
+			faultProfile = runMeta.faultProfile
+			intensity = runMeta.faultIntensity
+		}
 		m := ledger.New(ledger.RunInfo{
 			Tool:           "amperebleed",
-			Command:        cmd,
+			Command:        manifestCmd,
 			Args:           args,
 			Board:          "zcu102",
 			Seed:           runMeta.seed,
 			FaultProfile:   faultProfile,
 			FaultIntensity: intensity,
 			Workers:        runMeta.workers,
+			RunID:          runMeta.runID,
+			ParentRunID:    runMeta.parentRunID,
+			ResumedShards:  runMeta.resumedShards,
 			Started:        start,
 			Wall:           time.Since(start),
 		}, obs.Default.Snapshot())
 		if err := ledger.Append(*ledgerPath, m); err != nil {
 			fmt.Fprintf(os.Stderr, "amperebleed: ledger: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "run manifest appended to %s\n", *ledgerPath)
 	}
@@ -223,9 +297,10 @@ func main() {
 		fmt.Println()
 		if err := obs.Default.Snapshot().WriteText(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "amperebleed: obs snapshot: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return code
 }
 
 // parseFaults resolves the global -faults/-fault-intensity flags into a
@@ -288,7 +363,13 @@ commands:
   runs          list, filter and diff run-ledger manifests
   top           live terminal dashboard (-addr streams from a running
                 -obs-addr server; without -addr a demo workload runs
-                in-process; -once renders a single frame and exits)`)
+                in-process; -once renders a single frame and exits)
+  serve         HTTP job API (submit/status/cancel supervised runs with
+                admission control; SIGTERM drains to round-barrier
+                checkpoints)
+  resume        continue an interrupted supervised run from its
+                checkpoint file; completed shards replay, the result is
+                byte-identical to an uninterrupted run`)
 }
 
 func cmdBoards() error {
@@ -307,6 +388,7 @@ func cmdRuns(args []string) error {
 	prof := fs.String("profile", "", "filter: fault profile")
 	seed := fs.Int64("seed", 0, "filter: root seed (0 = any)")
 	diff := fs.String("diff", "", "diff two listed runs by index, e.g. 0,3")
+	canonical := fs.Int("canonical", -1, "print the canonical JSON of one listed run by index (scheduling-independent; byte-comparable across worker counts and checkpoint/resume)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -321,6 +403,17 @@ func cmdRuns(args []string) error {
 		FaultProfile: *prof,
 		Seed:         *seed,
 	})
+	if *canonical >= 0 {
+		if *canonical >= len(ms) {
+			return fmt.Errorf("-canonical index %d outside the %d filtered run(s)", *canonical, len(ms))
+		}
+		data, err := ledger.CanonicalJSON(ms[*canonical])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", data)
+		return nil
+	}
 	if *diff == "" {
 		return report.RenderRuns(os.Stdout, ms)
 	}
@@ -508,13 +601,14 @@ func deployVirus(b *board.ZCU102, groups int) error {
 	return array.SetActiveGroups(groups)
 }
 
-func cmdCharacterize(args []string, profile *faults.Profile) error {
+func cmdCharacterize(ctx context.Context, args []string, profile *faults.Profile) error {
 	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "experiment seed")
 	levels := fs.Int("levels", 0, "activation levels (0 = paper's 161)")
 	samples := fs.Int("samples", 20, "hwmon updates averaged per level")
 	noStab := fs.Bool("no-stabilizer", false, "disable the VCCINT stabilizer (ablation)")
 	parallel := fs.Int("parallel", 0, "worker count of the sharded per-level sweep (0 = classic serial protocol; results are identical for any worker count >= 1)")
+	checkpoint := fs.String("checkpoint", "", "run supervised with crash-safe checkpointing to this file (resumable with `amperebleed resume`)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -522,6 +616,41 @@ func cmdCharacterize(args []string, profile *faults.Profile) error {
 		return err
 	}
 	noteRun(*seed, *parallel)
+	if *checkpoint != "" {
+		cfg, err := json.Marshal(kinds.CharacterizeJobConfig{
+			Levels:            *levels,
+			SamplesPerLevel:   *samples,
+			DisableStabilizer: *noStab,
+		})
+		if err != nil {
+			return err
+		}
+		spec := jobs.Spec{
+			Kind:           "characterize",
+			RunID:          fmt.Sprintf("characterize-%d-%d", os.Getpid(), time.Now().Unix()),
+			Seed:           *seed,
+			Board:          "zcu102",
+			FaultProfile:   faultSpec.name,
+			FaultIntensity: faultSpec.intensity,
+			Config:         cfg,
+			Workers:        *parallel,
+			CheckpointPath: *checkpoint,
+		}
+		if faultSpec.name == "none" {
+			spec.FaultProfile, spec.FaultIntensity = "", 0
+		}
+		out, agg, err := kindExecutor(ctx, spec)
+		if out != nil {
+			noteLineage(spec.RunID, out.ParentRunID, out.ResumedShards)
+		}
+		if err != nil {
+			return err
+		}
+		for key, reason := range out.Quarantined {
+			fmt.Fprintf(os.Stderr, "characterize: shard %s quarantined: %s\n", key, reason)
+		}
+		return renderAggregate(agg)
+	}
 	res, err := core.Characterize(core.CharacterizeConfig{
 		Seed:              *seed,
 		Levels:            *levels,

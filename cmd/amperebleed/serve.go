@@ -1,0 +1,172 @@
+package main
+
+// The supervised-job side of the CLI: `serve` exposes the job engine
+// over HTTP with admission control and graceful drain, `resume` picks
+// an interrupted run back up from its checkpoint file.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/jobs/kinds"
+	"repro/internal/obs/olog"
+	"repro/internal/report"
+	"repro/internal/runner"
+)
+
+// kindExecutor adapts the kind registry to the job server: plan the
+// shard keys, run them supervised, fold the outcome back into the
+// experiment's result type.
+func kindExecutor(ctx context.Context, spec jobs.Spec) (*jobs.Outcome, any, error) {
+	kind, err := kinds.Lookup(spec.Kind)
+	if err != nil {
+		return nil, nil, err
+	}
+	keys, err := kind.Plan(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := jobs.Run(ctx, spec, keys, func(ctx context.Context, info runner.Info) (json.RawMessage, error) {
+		return kind.Shard(ctx, spec, info)
+	})
+	if err != nil {
+		return out, nil, err
+	}
+	agg, err := kind.Aggregate(spec, out)
+	return out, agg, err
+}
+
+// cmdServe runs the HTTP job API until the run context is cancelled
+// (first SIGINT/SIGTERM), then drains: running jobs are cancelled and
+// left checkpointed at their last round barrier, ready for `resume`.
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8080", "address the job API listens on")
+	maxJobs := fs.Int("max-jobs", 2, "jobs running concurrently")
+	queue := fs.Int("queue", 4, "admission queue depth; submissions beyond it are shed")
+	rate := fs.Float64("submit-rate", 0, "submissions per second accepted (token bucket; 0 = unlimited)")
+	burst := fs.Int("submit-burst", 0, "token-bucket burst for -submit-rate (0 = rate+1)")
+	dir := fs.String("checkpoint-dir", "checkpoints", "directory for per-job checkpoints (empty = no checkpointing)")
+	drainFor := fs.Duration("drain-timeout", 10*time.Second, "how long the drain waits for jobs to reach a round barrier")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir != "" {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			return err
+		}
+	}
+	s, err := jobs.NewServer(jobs.ServerConfig{
+		Executor:      kindExecutor,
+		MaxConcurrent: *maxJobs,
+		QueueDepth:    *queue,
+		SubmitPerSec:  *rate,
+		SubmitBurst:   *burst,
+		CheckpointDir: *dir,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "serve: job API on http://%s/jobs (kinds: %v)\n", ln.Addr(), kinds.Names())
+
+	log := olog.L("serve")
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	log.Info("draining", "timeout", *drainFor)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		log.Warn("drain incomplete", "err", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	_ = srv.Shutdown(shutCtx)
+	fmt.Fprintln(os.Stderr, "serve: drained; interrupted jobs can be picked up with `amperebleed resume <checkpoint>`")
+	return nil
+}
+
+// cmdResume restarts a supervised run from its checkpoint file. The
+// job's identity (kind, seed, board, fault profile, config) comes from
+// the checkpoint itself; completed shards replay from the file and only
+// the remainder executes, so the final result is byte-identical to an
+// uninterrupted run.
+func cmdResume(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("resume", flag.ExitOnError)
+	workers := fs.Int("parallel", 0, "workers for the remaining shards (0 = GOMAXPROCS; results are identical for any worker count)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := (runFlags{Parallel: *workers}).validate(); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: amperebleed resume [-parallel N] <checkpoint-file>")
+	}
+	path := fs.Arg(0)
+	cp, err := jobs.LoadCheckpoint(path)
+	if err != nil {
+		return err
+	}
+	spec := jobs.Spec{
+		Kind:           cp.Kind,
+		RunID:          fmt.Sprintf("resume-%d-%d", os.Getpid(), time.Now().Unix()),
+		Seed:           cp.Seed,
+		Board:          cp.Board,
+		FaultProfile:   cp.FaultProfile,
+		FaultIntensity: cp.FaultIntensity,
+		Config:         cp.Config,
+		Workers:        *workers,
+		CheckpointPath: path,
+	}
+	noteRun(cp.Seed, *workers)
+	noteResumedSpec(cp.Kind, cp.FaultProfile, cp.FaultIntensity)
+	done := len(cp.Completed) + len(cp.Quarantined)
+	fmt.Fprintf(os.Stderr, "resume: %s run %s at %d/%d shards (%d quarantined)\n",
+		cp.Kind, cp.RunID, done, len(cp.Keys), len(cp.Quarantined))
+
+	out, agg, err := kindExecutor(ctx, spec)
+	if out != nil {
+		noteLineage(spec.RunID, out.ParentRunID, out.ResumedShards)
+	}
+	if err != nil {
+		return err
+	}
+	for key, reason := range out.Quarantined {
+		fmt.Fprintf(os.Stderr, "resume: shard %s quarantined: %s\n", key, reason)
+	}
+	return renderAggregate(agg)
+}
+
+// renderAggregate routes a kind's aggregate to the experiment's usual
+// report renderer.
+func renderAggregate(agg any) error {
+	switch v := agg.(type) {
+	case *core.CharacterizeResult:
+		return report.RenderFig2(os.Stdout, v)
+	case []core.BoardApplicability:
+		return report.RenderApplicability(os.Stdout, v)
+	default:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestWatchSignalsFirstSignalCancels(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	ctx, cancel := watchSignals(context.Background(), ch, func(code int) { exited <- code })
+	defer cancel()
+
+	select {
+	case <-ctx.Done():
+		t.Fatal("context cancelled before any signal")
+	default:
+	}
+	ch <- syscall.SIGTERM
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first signal did not cancel the run context")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("first signal hard-exited with %d", code)
+	default:
+	}
+}
+
+func TestWatchSignalsSecondSignalHardExits(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	_, cancel := watchSignals(context.Background(), ch, func(code int) { exited <- code })
+	defer cancel()
+
+	ch <- syscall.SIGINT
+	ch <- syscall.SIGINT
+	select {
+	case code := <-exited:
+		if code != interruptExitCode {
+			t.Errorf("exit code = %d, want %d", code, interruptExitCode)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not hard-exit")
+	}
+}
+
+func TestWatchSignalsNormalExitStopsWatcher(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	ctx, cancel := watchSignals(context.Background(), ch, func(code int) { exited <- code })
+	// The command finished without a signal: cancel detaches the
+	// watcher, and a late signal must not hard-exit.
+	cancel()
+	<-ctx.Done()
+	ch <- syscall.SIGINT
+	select {
+	case code := <-exited:
+		t.Fatalf("signal after normal exit hard-exited with %d", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+}

@@ -56,20 +56,9 @@ type BoardApplicability struct {
 // reads. The attack is "applicable" to a board when discovery works and
 // the current channel tracks the victim level.
 func Applicability(cfg ApplicabilityConfig) ([]BoardApplicability, error) {
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
-	if cfg.Levels == 0 {
-		cfg.Levels = 11
-	}
-	if cfg.Levels < 2 {
-		return nil, errors.New("core: need at least two levels")
-	}
-	if cfg.SamplesPerLevel == 0 {
-		cfg.SamplesPerLevel = 10
-	}
-	if cfg.SamplesPerLevel < 1 {
-		return nil, errors.New("core: non-positive samples per level")
+	cfg, err := normalizeApplicability(cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	catalog := board.Catalog()
@@ -96,6 +85,43 @@ func Applicability(cfg ApplicabilityConfig) ([]BoardApplicability, error) {
 		return nil, err
 	}
 	return runner.Values(results), nil
+}
+
+func normalizeApplicability(cfg ApplicabilityConfig) (ApplicabilityConfig, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Levels == 0 {
+		cfg.Levels = 11
+	}
+	if cfg.Levels < 2 {
+		return cfg, errors.New("core: need at least two levels")
+	}
+	if cfg.SamplesPerLevel == 0 {
+		cfg.SamplesPerLevel = 10
+	}
+	if cfg.SamplesPerLevel < 1 {
+		return cfg, errors.New("core: non-positive samples per level")
+	}
+	return cfg, nil
+}
+
+// ApplicabilityBoard runs the Table I survey for one named board — the
+// per-shard unit of Applicability, exported for the supervised job
+// engine. The board seed derives from cfg.Seed and the board name
+// exactly as in the full survey, so a supervised run reproduces the
+// same rows the one-shot survey does.
+func ApplicabilityBoard(ctx context.Context, cfg ApplicabilityConfig, name string) (BoardApplicability, error) {
+	cfg, err := normalizeApplicability(cfg)
+	if err != nil {
+		return BoardApplicability{}, err
+	}
+	for _, spec := range board.Catalog() {
+		if spec.Name == name {
+			return applicabilityOne(ctx, cfg, spec)
+		}
+	}
+	return BoardApplicability{}, fmt.Errorf("core: unknown board %q", name)
 }
 
 func applicabilityOne(ctx context.Context, cfg ApplicabilityConfig, spec board.Spec) (BoardApplicability, error) {

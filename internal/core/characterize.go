@@ -92,6 +92,12 @@ type CharacterizeResult struct {
 	SNR float64
 }
 
+// DefaultCharacterizeLevels is the sweep size a zero
+// CharacterizeConfig.Levels selects: the paper's 161 activation levels
+// (0..160 groups). Exported so job planners can expand the shard list
+// without wiring a board.
+const DefaultCharacterizeLevels = virus.DefaultGroups + 1
+
 // Channel LSBs used to express slopes (Sec. III-C).
 const (
 	currentLSB = 1e-3    // 1 mA
@@ -99,28 +105,76 @@ const (
 	powerLSB   = 25e-3   // 25 mW
 )
 
-// Characterize runs the Fig. 2 sweep on a freshly wired ZCU102.
-func Characterize(cfg CharacterizeConfig) (*CharacterizeResult, error) {
+// normalizeCharacterize applies the documented defaults and validates;
+// Characterize and the job-engine per-level entry point share it so a
+// supervised sweep measures exactly what the classic one does.
+func normalizeCharacterize(cfg CharacterizeConfig) (CharacterizeConfig, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
 	if cfg.Levels == 0 {
-		cfg.Levels = virus.DefaultGroups + 1
+		cfg.Levels = DefaultCharacterizeLevels
 	}
 	if cfg.Levels < 2 {
-		return nil, errors.New("core: need at least two levels")
+		return cfg, errors.New("core: need at least two levels")
 	}
 	if cfg.SamplesPerLevel == 0 {
 		cfg.SamplesPerLevel = 50
 	}
 	if cfg.SamplesPerLevel < 1 {
-		return nil, errors.New("core: non-positive samples per level")
+		return cfg, errors.New("core: non-positive samples per level")
 	}
 	if cfg.WarmupUpdates == 0 {
 		cfg.WarmupUpdates = 3
 	}
 	if cfg.Parallelism < 0 {
-		return nil, errors.New("core: negative parallelism")
+		return cfg, errors.New("core: negative parallelism")
+	}
+	return cfg, nil
+}
+
+// CharacterizeLevelKey is the canonical shard key of one activation
+// level — the string both the sharded Characterize path and the
+// supervised job engine hash with runner.ShardSeed, so either path
+// derives the same per-level board seed from the same campaign seed.
+func CharacterizeLevelKey(level int) string {
+	return fmt.Sprintf("characterize/level/%d", level)
+}
+
+// CharacterizeLevel measures a single activation level on its own
+// freshly wired board, exactly as one shard of the parallel sweep:
+// seed should be runner.ShardSeed(cfg.Seed, CharacterizeLevelKey(level)).
+// It is the per-shard unit the supervised job engine checkpoints.
+func CharacterizeLevel(cfg CharacterizeConfig, seed int64, level int) (LevelReading, error) {
+	cfg, err := normalizeCharacterize(cfg)
+	if err != nil {
+		return LevelReading{}, err
+	}
+	if level < 0 || level >= cfg.Levels {
+		return LevelReading{}, fmt.Errorf("core: level %d outside sweep of %d levels", level, cfg.Levels)
+	}
+	rig, err := newCharacterizeRig(cfg, seed)
+	if err != nil {
+		return LevelReading{}, err
+	}
+	return rig.measureLevel(level)
+}
+
+// FitCharacterize aggregates per-level readings (in level order) into
+// the Fig. 2 result. It tolerates a partial sweep — quarantined levels
+// simply don't contribute — as long as at least two levels survive.
+func FitCharacterize(readings []LevelReading) (*CharacterizeResult, error) {
+	if len(readings) < 2 {
+		return nil, fmt.Errorf("core: only %d level readings survived, need at least 2 to fit", len(readings))
+	}
+	return fitCharacterize(readings)
+}
+
+// Characterize runs the Fig. 2 sweep on a freshly wired ZCU102.
+func Characterize(cfg CharacterizeConfig) (*CharacterizeResult, error) {
+	cfg, err := normalizeCharacterize(cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	readings := make([]LevelReading, cfg.Levels)
@@ -146,7 +200,7 @@ func Characterize(cfg CharacterizeConfig) (*CharacterizeResult, error) {
 		for level := 0; level < cfg.Levels; level++ {
 			level := level
 			shards[level] = runner.Shard[LevelReading]{
-				Key: fmt.Sprintf("characterize/level/%d", level),
+				Key: CharacterizeLevelKey(level),
 				Run: func(ctx context.Context, info runner.Info) (LevelReading, error) {
 					rig, err := newCharacterizeRig(cfg, info.Seed)
 					if err != nil {

@@ -252,7 +252,7 @@ func covertOnce(ctx context.Context, cfg CovertConfig, seed int64, payloadBits i
 		return nil, err
 	}
 	if inj := b.FaultInjector(); inj != nil {
-		rec.SetPolicy(recorderHooks(attacker, rx, interval))
+		rec.SetPolicy(recorderHooks(attacker, rx, interval, b.Engine().Stream("backoff/covert")))
 		rec.SetFaults(inj.SamplerFaults("recorder/covert"))
 	}
 

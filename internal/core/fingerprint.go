@@ -254,7 +254,8 @@ func captureOne(ctx context.Context, cfg FingerprintConfig, modelName string, re
 			return nil, err
 		}
 		if inj := b.FaultInjector(); inj != nil {
-			rec.SetPolicy(recorderHooks(attacker, ch, interval))
+			rec.SetPolicy(recorderHooks(attacker, ch, interval,
+				b.Engine().Stream(fmt.Sprintf("backoff/%s/%s", ch.Label, ch.Kind))))
 			rec.SetFaults(inj.SamplerFaults(fmt.Sprintf("recorder/%s/%s", ch.Label, ch.Kind)))
 		}
 		recorders[ch] = rec

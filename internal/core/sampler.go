@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"io/fs"
 	"math"
+	"math/rand"
 	"time"
 
 	"repro/internal/board"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/obs/olog"
+	"repro/internal/resilience"
 	"repro/internal/trace"
 )
 
@@ -40,6 +42,14 @@ var (
 // sweeping.
 var ErrSampleLost = errors.New("core: sample lost")
 
+// ErrChannelDead is the sampler's sticky give-up error, re-exported
+// from internal/trace: raised when a channel loses more consecutive
+// samples than the policy's MaxConsecutiveGaps tolerates. Unlike
+// ErrSampleLost it is fatal to the sweep — the supervised job engine
+// turns it into a shard quarantine instead of letting the experiment
+// grind through a dead sensor forever.
+var ErrChannelDead = trace.ErrChannelDead
+
 // RetryPolicy is re-exported from internal/trace: one policy type
 // configures both the recorder-based captures and the loop-based
 // samplers.
@@ -67,9 +77,17 @@ type Sampler struct {
 	probe    func() (float64, error)
 	policy   RetryPolicy
 	faults   trace.SampleFaults
+	// breaker guards the probe path when a fault profile is active: a
+	// run of lost samples trips it, and while open every Sample sheds
+	// instantly (a gap without burning the retry/backoff budget) until
+	// the sim-time probe window lets one read test the sensor again.
+	// Nil without fault injection, keeping the no-fault path
+	// byte-identical to the legacy loop.
+	breaker *resilience.Breaker
 
 	dropoutLeft int
 	consecGaps  int
+	dead        bool
 }
 
 // NewSampler resolves the channel through unprivileged discovery and
@@ -97,17 +115,50 @@ func NewSampler(b *board.SoC, attacker *Attacker, ch Channel, interval time.Dura
 	}
 	if inj := b.FaultInjector(); inj != nil {
 		s.faults = inj.SamplerFaults(fmt.Sprintf("sampler/%s/%s", ch.Label, ch.Kind))
+		// Decorrelated retry jitter from a named stream: deterministic per
+		// seed, but concurrent samplers stop retrying in lockstep.
+		s.policy.Rand = b.Engine().Stream(fmt.Sprintf("backoff/%s/%s", ch.Label, ch.Kind))
+		// The breaker's clock is simulated time and its probe jitter is a
+		// named engine stream, so its trips and probe windows are a pure
+		// function of the shard seed — chaos runs stay byte-identical
+		// across worker counts and across checkpoint/resume.
+		eng := b.Engine()
+		breaker, err := resilience.NewBreaker(resilience.BreakerConfig{
+			Name:            fmt.Sprintf("sampler/%s/%s", ch.Label, ch.Kind),
+			OpenFor:         32 * interval,
+			ProbeJitterFrac: 0.25,
+			Now:             eng.Now,
+			Rand:            eng.Stream(fmt.Sprintf("breaker/%s/%s", ch.Label, ch.Kind)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.breaker = breaker
 	}
 	return s, nil
 }
 
+// Breaker exposes the sampler's circuit breaker (nil without fault
+// injection), for tests and watch rules.
+func (s *Sampler) Breaker() *resilience.Breaker { return s.breaker }
+
 // SetPolicy overrides the retry policy (normalized with WithDefaults).
-func (s *Sampler) SetPolicy(p RetryPolicy) { s.policy = p.WithDefaults(s.interval) }
+// A policy without its own Rand keeps the sampler's wired backoff
+// jitter stream.
+func (s *Sampler) SetPolicy(p RetryPolicy) {
+	if p.Rand == nil {
+		p.Rand = s.policy.Rand
+	}
+	s.policy = p.WithDefaults(s.interval)
+}
 
 // Sample advances the board one sampling interval and reads the
 // channel. It returns (NaN, ErrSampleLost) for an unrecoverable sample
 // and the context error if ctx is cancelled, including mid-backoff.
 func (s *Sampler) Sample(ctx context.Context) (float64, error) {
+	if s.dead {
+		return 0, s.deadErr()
+	}
 	d := s.interval
 	if s.faults != nil && s.dropoutLeft == 0 {
 		if k := s.faults.DropoutLen(); k > 0 {
@@ -118,12 +169,22 @@ func (s *Sampler) Sample(ctx context.Context) (float64, error) {
 	s.b.Run(d)
 	if s.dropoutLeft > 0 {
 		// The sampling task was descheduled for this interval: the time
-		// passed, but no read happened.
+		// passed, but no read happened. Not a sensor failure, so the
+		// breaker doesn't hear about it.
 		s.dropoutLeft--
 		s.gap(ctx, "dropout")
+		if s.dead {
+			return 0, s.deadErr()
+		}
 		return math.NaN(), ErrSampleLost
 	}
 	return s.Read(ctx)
+}
+
+// deadErr wraps the sticky ErrChannelDead with the channel identity.
+func (s *Sampler) deadErr() error {
+	return fmt.Errorf("core: %s/%s after %d consecutive losses: %w",
+		s.ch.Label, s.ch.Kind, s.consecGaps, ErrChannelDead)
 }
 
 // gap records one lost sample and advances the consecutive-gap run the
@@ -135,6 +196,16 @@ func (s *Sampler) gap(ctx context.Context, cause string) {
 	samplerLog.DebugContext(ctx, "sample lost",
 		"channel", s.ch.Label, "kind", string(s.ch.Kind),
 		"cause", cause, "consecutive", s.consecGaps)
+	// Mirror the recorder's sticky limit: past MaxConsecutiveGaps the
+	// channel is declared dead and every further call fails fast with
+	// ErrChannelDead — an explicit, supervisable failure instead of a
+	// silent wedge grinding through a sensor that stopped answering.
+	if s.policy.MaxConsecutiveGaps > 0 && s.consecGaps > s.policy.MaxConsecutiveGaps {
+		s.dead = true
+		samplerLog.WarnContext(ctx, "channel dead",
+			"channel", s.ch.Label, "kind", string(s.ch.Kind),
+			"consecutive", s.consecGaps, "limit", s.policy.MaxConsecutiveGaps)
+	}
 }
 
 // good ends the consecutive-gap run on a successful read.
@@ -149,8 +220,39 @@ func (s *Sampler) good() {
 // Read reads the channel now, with retry but without advancing the
 // nominal sampling interval first (backoff still advances sim time).
 // Use it for secondary channels piggybacking on a primary sampler's
-// cadence.
+// cadence. When the circuit breaker is open the read sheds instantly —
+// a gap without the retry/backoff budget — until the probe window
+// re-tests the sensor.
 func (s *Sampler) Read(ctx context.Context) (float64, error) {
+	if s.dead {
+		return 0, s.deadErr()
+	}
+	if s.breaker != nil && !s.breaker.Allow() {
+		s.gap(ctx, "breaker open")
+		if s.dead {
+			return 0, s.deadErr()
+		}
+		return math.NaN(), ErrSampleLost
+	}
+	v, err := s.readRetry(ctx)
+	if s.breaker != nil {
+		switch {
+		case err == nil:
+			s.breaker.OnSuccess()
+		case errors.Is(err, ErrSampleLost):
+			s.breaker.OnFailure()
+		}
+	}
+	if s.dead {
+		return 0, s.deadErr()
+	}
+	return v, err
+}
+
+// readRetry is the raw retry loop behind Read: probe, classify,
+// re-resolve after hotplug, back off in simulated time, give up at the
+// policy's attempt or deadline budget.
+func (s *Sampler) readRetry(ctx context.Context) (float64, error) {
 	backoff := s.policy.BaseBackoff
 	var spent time.Duration
 	for attempt := 1; ; attempt++ {
@@ -188,18 +290,17 @@ func (s *Sampler) Read(ctx context.Context) (float64, error) {
 		s.b.Run(backoff)
 		cBackoffNs.Add(backoff.Nanoseconds())
 		spent += backoff
-		backoff *= 2
-		if backoff > s.policy.MaxBackoff {
-			backoff = s.policy.MaxBackoff
-		}
+		backoff = s.policy.NextBackoff(backoff)
 	}
 }
 
-// recorderHooks wires a capture recorder into the sampling metrics and
-// the attacker's re-resolution path; used by captureOne and covertOnce
-// when a fault profile is active.
-func recorderHooks(attacker *Attacker, ch Channel, interval time.Duration) *trace.RetryPolicy {
+// recorderHooks wires a capture recorder into the sampling metrics,
+// the attacker's re-resolution path, and the decorrelated backoff
+// jitter stream; used by captureOne and covertOnce when a fault
+// profile is active.
+func recorderHooks(attacker *Attacker, ch Channel, interval time.Duration, jitter *rand.Rand) *trace.RetryPolicy {
 	p := DefaultRetryPolicy(interval)
+	p.Rand = jitter
 	p.Resolve = func() (func() (float64, error), error) {
 		probe, err := attacker.Probe(ch)
 		if err == nil {

@@ -1,0 +1,219 @@
+package core
+
+// Circuit breaker and dead-channel behaviour of the resilient sampler,
+// plus the hotplug renumber-storm recovery property: a sampler under a
+// hostile sensor either keeps delivering (with explicit gap and
+// re-resolution accounting) or declares the channel dead — it never
+// silently wedges.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/board"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/sysfs"
+)
+
+// newFaultySampler wires a sampler on a board with the given fault
+// profile, so the breaker is armed.
+func newFaultySampler(t *testing.T, p faults.Profile) (*Sampler, *board.SoC) {
+	t.Helper()
+	b, err := board.NewZCU102(board.Config{Seed: 1, Faults: &p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Run(10 * time.Millisecond)
+	atk, err := NewAttacker(b.Sysfs(), sysfs.Nobody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(b, atk, Channel{Label: board.SensorFPGA, Kind: Current}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, b
+}
+
+// mildProfile arms the injector (and thus the breaker) without
+// actually firing faults, so tests can script failures themselves.
+func mildProfile() faults.Profile {
+	return faults.Profile{Name: "test-armed", SysfsErrorRate: 1e-12}
+}
+
+func TestSamplerWithoutFaultsHasNoBreaker(t *testing.T) {
+	s, _ := newTestSampler(t)
+	if s.Breaker() != nil {
+		t.Fatal("no-fault sampler grew a breaker; the clean path must stay byte-identical")
+	}
+}
+
+func TestSamplerBreakerShedsAfterFailureRun(t *testing.T) {
+	s, _ := newFaultySampler(t, mildProfile())
+	if s.Breaker() == nil {
+		t.Fatal("fault-armed sampler has no breaker")
+	}
+	// Keep the channel alive long enough to watch the breaker cycle.
+	p := DefaultRetryPolicy(time.Millisecond)
+	p.MaxConsecutiveGaps = -1
+	s.SetPolicy(p)
+
+	probes := 0
+	s.probe = func() (float64, error) { probes++; return 0, faults.ErrIO }
+
+	before := obs.C("resilience.breaker.open_total").Value()
+	ctx := context.Background()
+	// Each lost sample is one breaker failure; the default threshold is
+	// 16, so the 16th loss trips it.
+	for i := 0; i < 16; i++ {
+		if _, err := s.Read(ctx); !errors.Is(err, ErrSampleLost) {
+			t.Fatalf("read %d: %v, want ErrSampleLost", i, err)
+		}
+	}
+	if got := s.Breaker().State(); got != resilience.Open {
+		t.Fatalf("breaker after 16 losses = %v, want open", got)
+	}
+	if obs.C("resilience.breaker.open_total").Value() <= before {
+		t.Error("breaker trip not counted in resilience.breaker.open_total")
+	}
+
+	// While open, reads shed instantly: still gaps, but no probe (and no
+	// retry/backoff burn).
+	probesWhenOpened := probes
+	for i := 0; i < 5; i++ {
+		if v, err := s.Read(ctx); !errors.Is(err, ErrSampleLost) || !math.IsNaN(v) {
+			t.Fatalf("shed read %d: (%v, %v), want (NaN, ErrSampleLost)", i, v, err)
+		}
+	}
+	if probes != probesWhenOpened {
+		t.Errorf("open breaker still probed the sensor %d times", probes-probesWhenOpened)
+	}
+	if s.Breaker().ShortCircuits() < 5 {
+		t.Errorf("short circuits = %d, want >= 5", s.Breaker().ShortCircuits())
+	}
+}
+
+func TestSamplerBreakerRecovers(t *testing.T) {
+	s, b := newFaultySampler(t, mildProfile())
+	p := DefaultRetryPolicy(time.Millisecond)
+	p.MaxConsecutiveGaps = -1
+	s.SetPolicy(p)
+
+	healthy := false
+	real := s.probe
+	s.probe = func() (float64, error) {
+		if healthy {
+			return real()
+		}
+		return 0, faults.ErrIO
+	}
+	ctx := context.Background()
+	for i := 0; i < 16; i++ {
+		if _, err := s.Read(ctx); !errors.Is(err, ErrSampleLost) {
+			t.Fatal(err)
+		}
+	}
+	if s.Breaker().State() != resilience.Open {
+		t.Fatal("breaker did not open")
+	}
+
+	// Sensor heals; advance sim time past the jittered probe window
+	// (OpenFor is 32 intervals, jitter caps at +25%).
+	healthy = true
+	b.Run(64 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if v, err := s.Read(ctx); err != nil || math.IsNaN(v) {
+			t.Fatalf("probe read %d: (%v, %v), want a live read", i, v, err)
+		}
+	}
+	if got := s.Breaker().State(); got != resilience.Closed {
+		t.Errorf("breaker after successful probes = %v, want closed", got)
+	}
+}
+
+func TestSamplerDeclaresChannelDead(t *testing.T) {
+	s, _ := newFaultySampler(t, mildProfile())
+	p := DefaultRetryPolicy(time.Millisecond)
+	p.MaxConsecutiveGaps = 5
+	s.SetPolicy(p)
+	probes := 0
+	s.probe = func() (float64, error) { probes++; return 0, faults.ErrIO }
+
+	ctx := context.Background()
+	var err error
+	// The 6th consecutive gap crosses the limit of 5 and turns sticky.
+	for i := 0; i < 100; i++ {
+		if _, err = s.Sample(ctx); errors.Is(err, ErrChannelDead) {
+			break
+		}
+		if !errors.Is(err, ErrSampleLost) {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+	}
+	if !errors.Is(err, ErrChannelDead) {
+		t.Fatal("channel never declared dead")
+	}
+	// Dead is sticky and probe-free: both entry points fail fast.
+	probesWhenDead := probes
+	if _, err := s.Sample(ctx); !errors.Is(err, ErrChannelDead) {
+		t.Errorf("Sample on dead channel = %v", err)
+	}
+	if _, err := s.Read(ctx); !errors.Is(err, ErrChannelDead) {
+		t.Errorf("Read on dead channel = %v", err)
+	}
+	if probes != probesWhenDead {
+		t.Errorf("dead channel still probed %d times", probes-probesWhenDead)
+	}
+}
+
+func TestSamplerSurvivesRenumberStorm(t *testing.T) {
+	// A hotplug storm renumbers the hwmon directory ~every 5 simulated
+	// milliseconds while the sampler reads at 1 kHz — every few samples
+	// the resolved path dies under the probe. The recovery contract: the
+	// loop always terminates, re-resolution is exercised, and the
+	// sampler either keeps delivering samples or reports an explicit
+	// dead channel. No silent wedge, no unbounded error.
+	storm := faults.Profile{
+		Name:           "renumber-storm",
+		HotplugRate:    200, // expected renumbers per simulated second
+		SysfsErrorRate: 0.05,
+	}
+	s, _ := newFaultySampler(t, storm)
+
+	reresolvesBefore := obs.C("core.sampler.reresolves").Value()
+	ctx := context.Background()
+	good, gaps := 0, 0
+	var dead bool
+	for i := 0; i < 500; i++ {
+		v, err := s.Sample(ctx)
+		switch {
+		case err == nil:
+			if math.IsNaN(v) {
+				t.Fatalf("sample %d: clean read returned NaN", i)
+			}
+			good++
+		case errors.Is(err, ErrSampleLost):
+			gaps++
+		case errors.Is(err, ErrChannelDead):
+			dead = true
+		default:
+			t.Fatalf("sample %d: unexpected hard error %v", i, err)
+		}
+		if dead {
+			break
+		}
+	}
+	if !dead && good == 0 {
+		t.Error("storm produced no samples and no dead-channel verdict: silent wedge")
+	}
+	if got := obs.C("core.sampler.reresolves").Value(); got == reresolvesBefore {
+		t.Error("a 200/s renumber storm never exercised re-resolution")
+	}
+	t.Logf("storm outcome: %d good, %d gaps, dead=%v, reresolves=%d",
+		good, gaps, dead, obs.C("core.sampler.reresolves").Value()-reresolvesBefore)
+}

@@ -1,0 +1,274 @@
+// Package kinds registers the experiment types the supervised job
+// engine can run. A Kind adapts one core experiment to the engine's
+// shard protocol: Plan expands a job spec into the deterministic shard
+// key list, Shard executes one key (its Info.Seed already derived by
+// runner.ShardSeed exactly as the direct experiment paths derive it),
+// and Aggregate folds the completed shard records back into the
+// experiment's result type. The adapters reuse the experiments'
+// exported per-shard units, so a supervised run measures bit-identical
+// values to a one-shot run of the same seed.
+package kinds
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/jobs"
+	"repro/internal/runner"
+)
+
+// Kind is one experiment type the job engine can supervise.
+type Kind struct {
+	// Name is the registry key and the checkpoint's Kind field.
+	Name string
+	// Plan expands the spec into the shard key list, in submission
+	// order. It must be a pure function of the spec.
+	Plan func(spec jobs.Spec) ([]string, error)
+	// Shard runs one shard; info.Seed is runner.ShardSeed(spec.Seed,
+	// key). The returned JSON must be byte-stable for a given seed —
+	// resumed runs replay these bytes instead of recomputing.
+	Shard func(ctx context.Context, spec jobs.Spec, info runner.Info) (json.RawMessage, error)
+	// Aggregate folds a completed outcome into the experiment result.
+	// Quarantined shards are absent from the results map; aggregators
+	// degrade (fit what survived) or fail with a clear error.
+	Aggregate func(spec jobs.Spec, out *jobs.Outcome) (any, error)
+}
+
+var registry = map[string]Kind{}
+
+// Register adds a kind; duplicate names panic at init time.
+func Register(k Kind) {
+	if k.Name == "" || k.Plan == nil || k.Shard == nil || k.Aggregate == nil {
+		panic("kinds: incomplete kind registration")
+	}
+	if _, dup := registry[k.Name]; dup {
+		panic("kinds: duplicate kind " + k.Name)
+	}
+	registry[k.Name] = k
+}
+
+// Lookup returns a registered kind.
+func Lookup(name string) (Kind, error) {
+	k, ok := registry[name]
+	if !ok {
+		return Kind{}, fmt.Errorf("kinds: unknown job kind %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return k, nil
+}
+
+// Names lists the registered kinds, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// specFaults builds the fault profile a spec describes, or nil for
+// none.
+func specFaults(spec jobs.Spec) (*faults.Profile, error) {
+	if spec.FaultProfile == "" || spec.FaultProfile == "none" {
+		return nil, nil
+	}
+	p, err := faults.Preset(spec.FaultProfile)
+	if err != nil {
+		return nil, err
+	}
+	intensity := spec.FaultIntensity
+	if intensity == 0 {
+		intensity = 1
+	}
+	p, err = p.Scale(intensity)
+	if err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ---- characterize ----
+
+// CharacterizeJobConfig is the spec.Config payload of a characterize
+// job: the subset of core.CharacterizeConfig that isn't already spec
+// identity (seed, faults) or execution detail (parallelism).
+type CharacterizeJobConfig struct {
+	Levels            int  `json:"levels,omitempty"`
+	SamplesPerLevel   int  `json:"samples_per_level,omitempty"`
+	WarmupUpdates     int  `json:"warmup_updates,omitempty"`
+	DisableStabilizer bool `json:"disable_stabilizer,omitempty"`
+}
+
+func characterizeCore(spec jobs.Spec) (core.CharacterizeConfig, error) {
+	var jc CharacterizeJobConfig
+	if len(spec.Config) > 0 {
+		if err := json.Unmarshal(spec.Config, &jc); err != nil {
+			return core.CharacterizeConfig{}, fmt.Errorf("kinds: characterize config: %w", err)
+		}
+	}
+	fp, err := specFaults(spec)
+	if err != nil {
+		return core.CharacterizeConfig{}, err
+	}
+	return core.CharacterizeConfig{
+		Seed:              spec.Seed,
+		Levels:            jc.Levels,
+		SamplesPerLevel:   jc.SamplesPerLevel,
+		WarmupUpdates:     jc.WarmupUpdates,
+		DisableStabilizer: jc.DisableStabilizer,
+		Faults:            fp,
+	}, nil
+}
+
+// levelFromKey recovers the activation level from a characterize shard
+// key ("characterize/level/N").
+func levelFromKey(key string) (int, error) {
+	i := strings.LastIndexByte(key, '/')
+	if i < 0 {
+		return 0, fmt.Errorf("kinds: malformed characterize key %q", key)
+	}
+	level, err := strconv.Atoi(key[i+1:])
+	if err != nil {
+		return 0, fmt.Errorf("kinds: malformed characterize key %q: %w", key, err)
+	}
+	return level, nil
+}
+
+func characterizeKind() Kind {
+	return Kind{
+		Name: "characterize",
+		Plan: func(spec jobs.Spec) ([]string, error) {
+			ccfg, err := characterizeCore(spec)
+			if err != nil {
+				return nil, err
+			}
+			levels := ccfg.Levels
+			if levels == 0 {
+				levels = core.DefaultCharacterizeLevels
+			}
+			if levels < 2 {
+				return nil, errors.New("kinds: need at least two levels")
+			}
+			keys := make([]string, levels)
+			for level := 0; level < levels; level++ {
+				keys[level] = core.CharacterizeLevelKey(level)
+			}
+			return keys, nil
+		},
+		Shard: func(ctx context.Context, spec jobs.Spec, info runner.Info) (json.RawMessage, error) {
+			ccfg, err := characterizeCore(spec)
+			if err != nil {
+				return nil, err
+			}
+			level, err := levelFromKey(info.Key)
+			if err != nil {
+				return nil, err
+			}
+			reading, err := core.CharacterizeLevel(ccfg, info.Seed, level)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(reading)
+		},
+		Aggregate: func(spec jobs.Spec, out *jobs.Outcome) (any, error) {
+			readings := make([]core.LevelReading, 0, len(out.Results))
+			for _, key := range out.Keys {
+				data, ok := out.Results[key]
+				if !ok {
+					continue // quarantined level: fit what survived
+				}
+				var r core.LevelReading
+				if err := json.Unmarshal(data, &r); err != nil {
+					return nil, fmt.Errorf("kinds: shard %s record: %w", key, err)
+				}
+				readings = append(readings, r)
+			}
+			return core.FitCharacterize(readings)
+		},
+	}
+}
+
+// ---- applicability ----
+
+// ApplicabilityJobConfig is the spec.Config payload of an
+// applicability job.
+type ApplicabilityJobConfig struct {
+	Levels          int `json:"levels,omitempty"`
+	SamplesPerLevel int `json:"samples_per_level,omitempty"`
+}
+
+func applicabilityCore(spec jobs.Spec) (core.ApplicabilityConfig, error) {
+	var jc ApplicabilityJobConfig
+	if len(spec.Config) > 0 {
+		if err := json.Unmarshal(spec.Config, &jc); err != nil {
+			return core.ApplicabilityConfig{}, fmt.Errorf("kinds: applicability config: %w", err)
+		}
+	}
+	fp, err := specFaults(spec)
+	if err != nil {
+		return core.ApplicabilityConfig{}, err
+	}
+	return core.ApplicabilityConfig{
+		Seed:            spec.Seed,
+		Levels:          jc.Levels,
+		SamplesPerLevel: jc.SamplesPerLevel,
+		Faults:          fp,
+	}, nil
+}
+
+func applicabilityKind() Kind {
+	return Kind{
+		Name: "applicability",
+		Plan: func(spec jobs.Spec) ([]string, error) {
+			catalog := board.Catalog()
+			keys := make([]string, len(catalog))
+			for i, bs := range catalog {
+				keys[i] = "applicability/" + bs.Name
+			}
+			return keys, nil
+		},
+		Shard: func(ctx context.Context, spec jobs.Spec, info runner.Info) (json.RawMessage, error) {
+			acfg, err := applicabilityCore(spec)
+			if err != nil {
+				return nil, err
+			}
+			name := strings.TrimPrefix(info.Key, "applicability/")
+			row, err := core.ApplicabilityBoard(ctx, acfg, name)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(row)
+		},
+		Aggregate: func(spec jobs.Spec, out *jobs.Outcome) (any, error) {
+			rows := make([]core.BoardApplicability, 0, len(out.Results))
+			for _, key := range out.Keys {
+				data, ok := out.Results[key]
+				if !ok {
+					continue // quarantined board: the survey degrades to the rest
+				}
+				var row core.BoardApplicability
+				if err := json.Unmarshal(data, &row); err != nil {
+					return nil, fmt.Errorf("kinds: shard %s record: %w", key, err)
+				}
+				rows = append(rows, row)
+			}
+			if len(rows) == 0 {
+				return nil, errors.New("kinds: every applicability board quarantined")
+			}
+			return rows, nil
+		},
+	}
+}
+
+func init() {
+	Register(characterizeKind())
+	Register(applicabilityKind())
+}

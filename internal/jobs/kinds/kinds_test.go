@@ -1,0 +1,124 @@
+package kinds_test
+
+// The adapters' contract: a supervised run of an experiment computes
+// exactly what the direct path computes — same shard keys, same
+// derived seeds, same numbers after the JSON round-trip through the
+// checkpoint format.
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/jobs/kinds"
+	"repro/internal/runner"
+)
+
+func runKind(t *testing.T, spec jobs.Spec) any {
+	t.Helper()
+	kind, err := kinds.Lookup(spec.Kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := kind.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := jobs.Run(context.Background(), spec, keys, func(ctx context.Context, info runner.Info) (json.RawMessage, error) {
+		return kind.Shard(ctx, spec, info)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Quarantined) != 0 {
+		t.Fatalf("unexpected quarantines: %v", out.Quarantined)
+	}
+	agg, err := kind.Aggregate(spec, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}
+
+func TestCharacterizeKindMatchesDirectPath(t *testing.T) {
+	spec := jobs.Spec{
+		Kind:         "characterize",
+		Seed:         11,
+		Board:        "zcu102",
+		Workers:      2,
+		RoundSize:    3,
+		RetryBackoff: -1,
+		Config:       json.RawMessage(`{"levels":5,"samples_per_level":4}`),
+	}
+	got := runKind(t, spec).(*core.CharacterizeResult)
+
+	want, err := core.Characterize(core.CharacterizeConfig{
+		Seed:            11,
+		Levels:          5,
+		SamplesPerLevel: 4,
+		Parallelism:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("supervised characterize differs from direct path:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestApplicabilityKindMatchesDirectPath(t *testing.T) {
+	spec := jobs.Spec{
+		Kind:         "applicability",
+		Seed:         11,
+		Board:        "all",
+		Workers:      2,
+		RoundSize:    4,
+		RetryBackoff: -1,
+		Config:       json.RawMessage(`{"levels":3,"samples_per_level":2}`),
+	}
+	got := runKind(t, spec).([]core.BoardApplicability)
+
+	want, err := core.Applicability(core.ApplicabilityConfig{
+		Seed:            11,
+		Levels:          3,
+		SamplesPerLevel: 2,
+		Parallelism:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("supervised applicability differs from direct path:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestLookupUnknownKind(t *testing.T) {
+	_, err := kinds.Lookup("frobnicate")
+	if err == nil || !strings.Contains(err.Error(), "characterize") {
+		t.Errorf("unknown-kind error should list the registry: %v", err)
+	}
+	names := kinds.Names()
+	if len(names) < 2 || names[0] != "applicability" {
+		t.Errorf("Names() = %v, want sorted registry with applicability first", names)
+	}
+}
+
+func TestCharacterizeKindRejectsBadConfig(t *testing.T) {
+	kind, err := kinds.Lookup("characterize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kind.Plan(jobs.Spec{Kind: "characterize", Config: json.RawMessage(`{"levels":`)}); err == nil {
+		t.Error("truncated config accepted")
+	}
+	if _, err := kind.Plan(jobs.Spec{Kind: "characterize", FaultProfile: "no-such-profile"}); err == nil {
+		t.Error("unknown fault profile accepted")
+	}
+	if _, err := kind.Plan(jobs.Spec{Kind: "characterize", Config: json.RawMessage(`{"levels":1}`)}); err == nil {
+		t.Error("single-level sweep accepted")
+	}
+}

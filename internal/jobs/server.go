@@ -1,0 +1,407 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// Server metrics: the live side of the job engine. These never enter
+// deterministic manifests (a server interleaves many jobs in one
+// registry), so plain counters are fine.
+var (
+	cSrvSubmitted = obs.C("jobs.server.submitted")
+	cSrvCompleted = obs.C("jobs.server.completed")
+	cSrvFailed    = obs.C("jobs.server.failed")
+	cSrvShed      = obs.C("jobs.server.shed")
+	cSrvCancelled = obs.C("jobs.server.cancelled")
+	gSrvRunning   = obs.G("jobs.server.running")
+	gSrvQueued    = obs.G("jobs.server.queued")
+)
+
+// JobState is a submitted job's lifecycle state.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"    // waiting in the admission queue
+	StateRunning   JobState = "running"   // admitted, shards executing
+	StateDone      JobState = "done"      // completed (possibly with quarantines)
+	StateFailed    JobState = "failed"    // engine error
+	StateShed      JobState = "shed"      // rejected by admission control
+	StateCancelled JobState = "cancelled" // cancelled by request or drain
+)
+
+// Executor runs one supervised job to completion and returns its
+// outcome plus the kind-specific aggregate. The CLI supplies it from
+// the kind registry; the indirection keeps this package free of
+// experiment imports.
+type Executor func(ctx context.Context, spec Spec) (*Outcome, any, error)
+
+// ServerConfig parameterizes a job server.
+type ServerConfig struct {
+	// Executor is required.
+	Executor Executor
+	// MaxConcurrent jobs run at once; zero means 2.
+	MaxConcurrent int
+	// QueueDepth bounds the admission wait queue; submissions beyond it
+	// are shed. Zero means 4.
+	QueueDepth int
+	// SubmitPerSec rate-limits submissions (token bucket, burst
+	// SubmitBurst); zero disables the limiter.
+	SubmitPerSec float64
+	SubmitBurst  int
+	// CheckpointDir is where per-job checkpoints are written; empty
+	// disables checkpointing.
+	CheckpointDir string
+}
+
+// Job is one submission's record.
+type Job struct {
+	ID        string     `json:"id"`
+	State     JobState   `json:"state"`
+	Kind      string     `json:"kind"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// Completed/Quarantined/Rounds/ResumedShards summarize the outcome.
+	Completed     int    `json:"completed,omitempty"`
+	Quarantined   int    `json:"quarantined,omitempty"`
+	Rounds        int    `json:"rounds,omitempty"`
+	ResumedShards int    `json:"resumed_shards,omitempty"`
+	Checkpoint    string `json:"checkpoint,omitempty"`
+
+	spec   Spec
+	cancel context.CancelFunc
+	result any
+}
+
+// Server is the HTTP job API: submit, status, cancel, with admission
+// control in front of the engine and a graceful drain that leaves
+// every in-flight job checkpointed at its last round barrier.
+type Server struct {
+	cfg    ServerConfig
+	adm    *resilience.Admission
+	bucket *resilience.TokenBucket
+
+	root     context.Context
+	shutdown context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	nextID   int
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// NewServer builds a job server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Executor == nil {
+		return nil, errors.New("jobs: server needs an executor")
+	}
+	if cfg.MaxConcurrent == 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.MaxConcurrent < 1 {
+		return nil, fmt.Errorf("jobs: non-positive concurrency %d", cfg.MaxConcurrent)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 4
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("jobs: negative queue depth %d", cfg.QueueDepth)
+	}
+	adm, err := resilience.NewAdmission(cfg.MaxConcurrent, cfg.QueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, adm: adm, jobs: make(map[string]*Job)}
+	if cfg.SubmitPerSec > 0 {
+		burst := cfg.SubmitBurst
+		if burst == 0 {
+			burst = int(cfg.SubmitPerSec) + 1
+		}
+		start := time.Now()
+		bucket, err := resilience.NewTokenBucket(cfg.SubmitPerSec, burst, func() time.Duration {
+			return time.Since(start)
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.bucket = bucket
+	}
+	s.root, s.shutdown = context.WithCancel(context.Background())
+	return s, nil
+}
+
+// SubmitRequest is the POST /jobs payload.
+type SubmitRequest struct {
+	Kind           string          `json:"kind"`
+	Seed           int64           `json:"seed"`
+	Board          string          `json:"board,omitempty"`
+	FaultProfile   string          `json:"fault_profile,omitempty"`
+	FaultIntensity float64         `json:"fault_intensity,omitempty"`
+	Workers        int             `json:"workers,omitempty"`
+	RoundSize      int             `json:"round_size,omitempty"`
+	Config         json.RawMessage `json:"config,omitempty"`
+}
+
+// Submit enqueues a job and returns its record. The job waits in the
+// bounded admission queue; beyond the queue depth it is shed.
+func (s *Server) Submit(req SubmitRequest) (*Job, error) {
+	if req.Kind == "" {
+		return nil, errors.New("jobs: submission needs a kind")
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errors.New("jobs: server is draining")
+	}
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	job := &Job{
+		ID:        id,
+		State:     StateQueued,
+		Kind:      req.Kind,
+		Submitted: time.Now(),
+		spec: Spec{
+			Kind:           req.Kind,
+			RunID:          id,
+			Seed:           req.Seed,
+			Board:          req.Board,
+			FaultProfile:   req.FaultProfile,
+			FaultIntensity: req.FaultIntensity,
+			Workers:        req.Workers,
+			RoundSize:      req.RoundSize,
+			Config:         req.Config,
+		},
+	}
+	if s.cfg.CheckpointDir != "" {
+		job.spec.CheckpointPath = filepath.Join(s.cfg.CheckpointDir, id+".checkpoint.json")
+		job.Checkpoint = job.spec.CheckpointPath
+	}
+	ctx, cancel := context.WithCancel(s.root)
+	job.cancel = cancel
+	s.jobs[id] = job
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	cSrvSubmitted.Inc()
+	gSrvQueued.Set(float64(s.adm.Waiting()))
+	go s.execute(ctx, job)
+	return job, nil
+}
+
+// execute drives one job through admission, the engine, and its
+// terminal state.
+func (s *Server) execute(ctx context.Context, job *Job) {
+	defer s.wg.Done()
+	defer job.cancel()
+	release, err := s.adm.Acquire(ctx)
+	gSrvQueued.Set(float64(s.adm.Waiting()))
+	if err != nil {
+		state := StateShed
+		if errors.Is(err, context.Canceled) {
+			state = StateCancelled
+			cSrvCancelled.Inc()
+		} else {
+			cSrvShed.Inc()
+		}
+		s.finish(job, state, nil, nil, err)
+		return
+	}
+	defer release()
+
+	now := time.Now()
+	s.mu.Lock()
+	job.State = StateRunning
+	job.Started = &now
+	s.mu.Unlock()
+	gSrvRunning.Set(float64(s.adm.InFlight()))
+	log.InfoContext(ctx, "job admitted", "job", job.ID, "kind", job.Kind)
+
+	out, result, err := s.cfg.Executor(ctx, job.spec)
+	switch {
+	case err == nil:
+		cSrvCompleted.Inc()
+		s.finish(job, StateDone, out, result, nil)
+	case errors.Is(err, context.Canceled):
+		cSrvCancelled.Inc()
+		s.finish(job, StateCancelled, out, nil, err)
+	default:
+		cSrvFailed.Inc()
+		s.finish(job, StateFailed, out, nil, err)
+	}
+	gSrvRunning.Set(float64(s.adm.InFlight() - 1))
+}
+
+func (s *Server) finish(job *Job, state JobState, out *Outcome, result any, err error) {
+	now := time.Now()
+	s.mu.Lock()
+	job.State = state
+	job.Finished = &now
+	if err != nil {
+		job.Error = err.Error()
+	}
+	if out != nil {
+		job.Completed = out.Completed()
+		job.Quarantined = len(out.Quarantined)
+		job.Rounds = out.Rounds
+		job.ResumedShards = out.ResumedShards
+	}
+	job.result = result
+	s.mu.Unlock()
+	log.Info("job finished", "job", job.ID, "state", string(state), "err", job.Error)
+}
+
+// Cancel cancels a job by ID; queued jobs leave the queue, running
+// jobs stop at the next shard completion with their checkpoint at the
+// last committed barrier.
+func (s *Server) Cancel(id string) (*Job, error) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("jobs: unknown job %q", id)
+	}
+	job.cancel()
+	return job, nil
+}
+
+// Get returns a job by ID.
+func (s *Server) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	return job, ok
+}
+
+// List returns all jobs, oldest submission first.
+func (s *Server) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Submitted.Before(out[k].Submitted) })
+	return out
+}
+
+// Drain stops accepting submissions, cancels every job's context (the
+// engine stops at the next shard completion, checkpoint already at the
+// last barrier), and waits for all job goroutines — bounded by ctx.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.shutdown()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: drain timed out: %w", ctx.Err())
+	}
+}
+
+// Handler returns the job API mux:
+//
+//	POST   /jobs             submit (SubmitRequest body) -> 202 + Job
+//	GET    /jobs             list
+//	GET    /jobs/{id}        status
+//	GET    /jobs/{id}/result kind-specific aggregate of a done job
+//	POST   /jobs/{id}/cancel cancel
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		if s.bucket != nil && !s.bucket.Allow() {
+			http.Error(w, "submission rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+		var req SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad submit payload: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		job, err := s.Submit(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.view(&s.mu))
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := s.List()
+		views := make([]Job, len(jobs))
+		for i, j := range jobs {
+			views[i] = j.view(&s.mu)
+		}
+		writeJSON(w, http.StatusOK, views)
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "no such job", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.view(&s.mu))
+	})
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "no such job", http.StatusNotFound)
+			return
+		}
+		s.mu.Lock()
+		state, result := job.State, job.result
+		s.mu.Unlock()
+		if state != StateDone {
+			http.Error(w, fmt.Sprintf("job is %s, not done", state), http.StatusConflict)
+			return
+		}
+		writeJSON(w, http.StatusOK, result)
+	})
+	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		job, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.view(&s.mu))
+	})
+	return mux
+}
+
+// view copies the job's exported fields under the server lock, so
+// handlers never serialize a record the executor is mutating.
+func (j *Job) view(mu *sync.Mutex) Job {
+	mu.Lock()
+	defer mu.Unlock()
+	return Job{
+		ID: j.ID, State: j.State, Kind: j.Kind, Error: j.Error,
+		Submitted: j.Submitted, Started: j.Started, Finished: j.Finished,
+		Completed: j.Completed, Quarantined: j.Quarantined,
+		Rounds: j.Rounds, ResumedShards: j.ResumedShards,
+		Checkpoint: j.Checkpoint,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,288 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// blockingExecutor blocks until release is closed (or the job context
+// is cancelled), then reports a fixed outcome.
+func blockingExecutor(release <-chan struct{}) Executor {
+	return func(ctx context.Context, spec Spec) (*Outcome, any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return &Outcome{Results: map[string]json.RawMessage{}, Quarantined: map[string]string{}}, nil, ctx.Err()
+		}
+		return &Outcome{
+			Results:     map[string]json.RawMessage{"k": json.RawMessage(`1`)},
+			Quarantined: map[string]string{},
+			Rounds:      1,
+		}, map[string]int{"answer": 42}, nil
+	}
+}
+
+// waitForState polls until the job reaches the state or the deadline
+// trips.
+func waitForState(t *testing.T, s *Server, id string, want JobState) *Job {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		job, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		s.mu.Lock()
+		state := job.State
+		s.mu.Unlock()
+		if state == want {
+			return job
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	job, _ := s.Get(id)
+	t.Fatalf("job %s never reached %s (stuck at %s)", id, want, job.State)
+	return nil
+}
+
+func TestServerSubmitRunsToDone(t *testing.T) {
+	release := make(chan struct{})
+	close(release)
+	s, err := NewServer(ServerConfig{Executor: blockingExecutor(release)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+	job, err := s.Submit(SubmitRequest{Kind: "demo", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitForState(t, s, job.ID, StateDone)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if done.Completed != 1 || done.Rounds != 1 || done.Error != "" {
+		t.Errorf("done job record = %+v", done)
+	}
+}
+
+func TestServerAdmissionShedsBeyondQueue(t *testing.T) {
+	release := make(chan struct{})
+	s, err := NewServer(ServerConfig{Executor: blockingExecutor(release), MaxConcurrent: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		close(release)
+		s.Drain(context.Background())
+	}()
+
+	first, err := s.Submit(SubmitRequest{Kind: "demo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, s, first.ID, StateRunning)
+	second, err := s.Submit(SubmitRequest{Kind: "demo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the second job occupies the one queue slot, then the
+	// third must shed.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.adm.Waiting() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	third, err := s.Submit(SubmitRequest{Kind: "demo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, s, third.ID, StateShed)
+	if _, ok := s.Get(second.ID); !ok {
+		t.Error("queued job lost")
+	}
+}
+
+func TestServerCancelRunningJob(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s, err := NewServer(ServerConfig{Executor: blockingExecutor(release)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+	job, err := s.Submit(SubmitRequest{Kind: "demo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, s, job.ID, StateRunning)
+	if _, err := s.Cancel(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, s, job.ID, StateCancelled)
+	if _, err := s.Cancel("job-999"); err == nil {
+		t.Error("cancel of unknown job succeeded")
+	}
+}
+
+func TestServerDrainCancelsAndRejects(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s, err := NewServer(ServerConfig{Executor: blockingExecutor(release), MaxConcurrent: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Submit(SubmitRequest{Kind: "demo"})
+	b, _ := s.Submit(SubmitRequest{Kind: "demo"})
+	waitForState(t, s, a.ID, StateRunning)
+	waitForState(t, s, b.ID, StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		job, _ := s.Get(id)
+		if job.State != StateCancelled {
+			t.Errorf("job %s after drain = %s, want cancelled", id, job.State)
+		}
+	}
+	if _, err := s.Submit(SubmitRequest{Kind: "demo"}); err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Errorf("submit after drain = %v, want draining rejection", err)
+	}
+}
+
+func TestServerHTTPRoundtrip(t *testing.T) {
+	release := make(chan struct{})
+	close(release)
+	s, err := NewServer(ServerConfig{Executor: blockingExecutor(release)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Submit.
+	body, _ := json.Marshal(SubmitRequest{Kind: "demo", Seed: 3})
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitForState(t, s, job.ID, StateDone)
+
+	// Status and list.
+	resp, err = http.Get(srv.URL + "/jobs/" + job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Job
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.State != StateDone {
+		t.Errorf("status = %s, want done", got.State)
+	}
+	resp, err = http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []Job
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 {
+		t.Errorf("list has %d jobs, want 1", len(list))
+	}
+
+	// Result of a done job.
+	resp, err = http.Get(srv.URL + "/jobs/" + job.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var result map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&result); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if result["answer"] != 42 {
+		t.Errorf("result = %v", result)
+	}
+
+	// Unknown job and bad payload.
+	resp, _ = http.Get(srv.URL + "/jobs/job-999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Post(srv.URL+"/jobs", "application/json", strings.NewReader("{"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad payload status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestServerSubmitRateLimit(t *testing.T) {
+	release := make(chan struct{})
+	close(release)
+	s, err := NewServer(ServerConfig{
+		Executor:     blockingExecutor(release),
+		SubmitPerSec: 1e-9, // effectively one token, no refill
+		SubmitBurst:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	post := func() int {
+		body, _ := json.Marshal(SubmitRequest{Kind: "demo"})
+		resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(); code != http.StatusAccepted {
+		t.Fatalf("first submit = %d", code)
+	}
+	if code := post(); code != http.StatusTooManyRequests {
+		t.Errorf("second submit = %d, want 429", code)
+	}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Error("nil executor accepted")
+	}
+	exec := blockingExecutor(nil)
+	for i, cfg := range []ServerConfig{
+		{Executor: exec, MaxConcurrent: -1},
+		{Executor: exec, QueueDepth: -1},
+	} {
+		if _, err := NewServer(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := (&Server{jobs: map[string]*Job{}}).Submit(SubmitRequest{}); err == nil {
+		t.Error("kindless submission accepted")
+	}
+}

@@ -18,7 +18,7 @@
 // Manifests of runs that differ only in scheduling (worker count) are
 // byte-identical after Canonicalize, which strips run metadata and
 // wall-clock-dependent fields and rounds floats below the accumulation
-//-order noise floor; the determinism test in this package holds that
+// -order noise floor; the determinism test in this package holds that
 // property across workers 1, 4, and 16.
 package ledger
 
@@ -103,6 +103,12 @@ type RunInfo struct {
 	FaultIntensity float64
 	// Workers is the sharded-runner worker count (0 = serial/default).
 	Workers int
+	// RunID identifies this run; ParentRunID is the run whose checkpoint
+	// it resumed from and ResumedShards how many shards that checkpoint
+	// carried. All zero for ordinary (non-supervised, non-resumed) runs.
+	RunID         string
+	ParentRunID   string
+	ResumedShards int
 	// Started is when the run began; Wall its wall-clock duration.
 	Started time.Time
 	Wall    time.Duration
@@ -119,6 +125,9 @@ type Manifest struct {
 	FaultProfile   string    `json:"fault_profile,omitempty"`
 	FaultIntensity float64   `json:"fault_intensity,omitempty"`
 	Workers        int       `json:"workers,omitempty"`
+	RunID          string    `json:"run_id,omitempty"`
+	ParentRunID    string    `json:"parent_run_id,omitempty"`
+	ResumedShards  int       `json:"resumed_shards,omitempty"`
 	GoVersion      string    `json:"go_version,omitempty"`
 	StartedAt      time.Time `json:"started_at"`
 	WallSeconds    float64   `json:"wall_seconds"`
@@ -139,6 +148,9 @@ func New(info RunInfo, snap obs.Snapshot) Manifest {
 		FaultProfile:   info.FaultProfile,
 		FaultIntensity: info.FaultIntensity,
 		Workers:        info.Workers,
+		RunID:          info.RunID,
+		ParentRunID:    info.ParentRunID,
+		ResumedShards:  info.ResumedShards,
 		GoVersion:      runtime.Version(),
 		StartedAt:      info.Started,
 		WallSeconds:    info.Wall.Seconds(),
@@ -270,6 +282,12 @@ func roundStat(h obs.HistogramStat) obs.HistogramStat {
 func Canonicalize(m Manifest) Manifest {
 	m.Args = nil
 	m.Workers = 0
+	// Resume lineage describes how the run executed, not what it
+	// measured: a killed-and-resumed run must canonicalize identically
+	// to an uninterrupted one (the jobs package's resume property).
+	m.RunID = ""
+	m.ParentRunID = ""
+	m.ResumedShards = 0
 	m.GoVersion = ""
 	m.StartedAt = time.Time{}
 	m.WallSeconds = 0

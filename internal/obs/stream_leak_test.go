@@ -1,0 +1,91 @@
+package obs
+
+// Goroutine-leak regression tests for the streaming layer: a closed
+// subscription and a disconnected SSE client must both release their
+// feed goroutine.
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func waitNumGoroutine(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d, baseline %d\n%s", n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSubscriptionCloseLeavesNoGoroutines(t *testing.T) {
+	reg := NewRegistry()
+	base := runtime.NumGoroutine()
+	subs := make([]*Subscription, 8)
+	for i := range subs {
+		subs[i] = reg.Subscribe(time.Millisecond, 2)
+	}
+	// Let the feeds produce a few frames before tearing them down.
+	time.Sleep(10 * time.Millisecond)
+	for _, s := range subs {
+		s.Close()
+		s.Close() // idempotent
+	}
+	waitNumGoroutine(t, base)
+	if got := reg.Gauge("obs.stream.subscribers").Value(); got != 0 {
+		t.Errorf("subscriber gauge after close = %v, want 0", got)
+	}
+}
+
+func TestStreamSSEDisconnectLeavesNoGoroutines(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("leaktest.ticks").Inc()
+	srv := httptest.NewServer(NewHandler(reg))
+	defer srv.Close()
+
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", srv.URL+"/metrics/stream?interval=1ms", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A private transport so lingering keepalive goroutines of other
+	// tests' clients can't blur the count.
+	tr := &http.Transport{DisableKeepAlives: true}
+	client := &http.Client{Transport: tr}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read until one metrics frame arrives, proving the feed goroutine
+	// is up, then drop the connection mid-stream.
+	sc := bufio.NewScanner(resp.Body)
+	sawFrame := false
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "data: ") {
+			sawFrame = true
+			break
+		}
+	}
+	if !sawFrame {
+		t.Fatal("no SSE frame before disconnect")
+	}
+	cancel()
+	resp.Body.Close()
+	tr.CloseIdleConnections()
+	waitNumGoroutine(t, base)
+}

@@ -1,0 +1,71 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// Deadline budgets: a request-scoped time allowance that rides the
+// context. WithBudget attaches both a real deadline (so blocking calls
+// are cut off) and a budget marker that downstream stages can query
+// and subdivide — a job handler grants the whole request 30 s, the
+// planner takes 10% of whatever remains, the shard runner splits the
+// rest. Unlike reading ctx.Deadline directly, Remaining never reports
+// a deadline the budget machinery didn't set, so stages can
+// distinguish "the request has a time budget" from unrelated timeouts.
+
+type budgetKey struct{}
+
+// budget records when the allowance expires on the wall clock.
+type budget struct {
+	deadline time.Time
+}
+
+// WithBudget returns a context whose remaining time allowance is d,
+// enforced by a real context deadline. If the parent already carries a
+// smaller budget, the smaller one wins (a sub-request can only shrink
+// its allowance).
+func WithBudget(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	deadline := time.Now().Add(d)
+	if parent, ok := ctx.Value(budgetKey{}).(budget); ok && parent.deadline.Before(deadline) {
+		deadline = parent.deadline
+	}
+	ctx = context.WithValue(ctx, budgetKey{}, budget{deadline: deadline})
+	return context.WithDeadline(ctx, deadline)
+}
+
+// Remaining returns the unspent part of the context's budget and
+// whether a budget is set at all. A context without a budget reports
+// (0, false): the caller is free to take as long as it needs.
+func Remaining(ctx context.Context) (time.Duration, bool) {
+	if ctx == nil {
+		return 0, false
+	}
+	b, ok := ctx.Value(budgetKey{}).(budget)
+	if !ok {
+		return 0, false
+	}
+	left := time.Until(b.deadline)
+	if left < 0 {
+		left = 0
+	}
+	return left, true
+}
+
+// Split returns a child context budgeted with the given fraction of
+// the parent's remaining allowance. Without a parent budget it returns
+// the context unchanged with a no-op cancel, so Split composes freely
+// with unbudgeted callers.
+func Split(ctx context.Context, frac float64) (context.Context, context.CancelFunc) {
+	left, ok := Remaining(ctx)
+	if !ok || frac <= 0 {
+		return ctx, func() {}
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return WithBudget(ctx, time.Duration(frac*float64(left)))
+}

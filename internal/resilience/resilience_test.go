@@ -1,0 +1,396 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for deterministic breaker and
+// bucket tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *fakeClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+func newTestBreaker(t *testing.T, clk *fakeClock, mutate func(*BreakerConfig)) *Breaker {
+	t.Helper()
+	cfg := BreakerConfig{
+		Name:              "test",
+		FailureThreshold:  3,
+		OpenFor:           10 * time.Millisecond,
+		HalfOpenSuccesses: 2,
+		Now:               clk.Now,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	b, err := NewBreaker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := &fakeClock{}
+	b := newTestBreaker(t, clk, nil)
+
+	if got := b.State(); got != Closed {
+		t.Fatalf("initial state = %v, want closed", got)
+	}
+	// Two failures stay closed; the third trips.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.OnFailure()
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after 2 failures = %v, want closed", got)
+	}
+	b.Allow()
+	b.OnFailure()
+	if got := b.State(); got != Open {
+		t.Fatalf("state after threshold failures = %v, want open", got)
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+	// Open: short-circuits until the window expires.
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the window")
+	}
+	if b.ShortCircuits() == 0 {
+		t.Fatal("short-circuit not counted")
+	}
+	clk.Advance(11 * time.Millisecond)
+	// Window expired: one probe admitted (half-open), a second is not.
+	if !b.Allow() {
+		t.Fatal("expired breaker rejected the probe")
+	}
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// Probe succeeds, but HalfOpenSuccesses=2 demands another.
+	b.OnSuccess()
+	if !b.Allow() {
+		t.Fatal("breaker rejected the second probe after a success")
+	}
+	b.OnSuccess()
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after enough probe successes = %v, want closed", got)
+	}
+
+	// A failing probe re-opens immediately.
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.OnFailure()
+	}
+	clk.Advance(11 * time.Millisecond)
+	b.Allow()
+	b.OnFailure()
+	if got := b.State(); got != Open {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if b.Trips() != 3 {
+		t.Fatalf("trips = %d, want 3 (initial + re-trip + failed probe)", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	clk := &fakeClock{}
+	b := newTestBreaker(t, clk, nil)
+	// failure, failure, success, failure, failure: never reaches 3
+	// consecutive.
+	for _, ok := range []bool{false, false, true, false, false} {
+		b.Allow()
+		if ok {
+			b.OnSuccess()
+		} else {
+			b.OnFailure()
+		}
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want closed (failure run was broken)", got)
+	}
+}
+
+func TestBreakerProbeJitterDeterministic(t *testing.T) {
+	windows := func(seed int64) []time.Duration {
+		clk := &fakeClock{}
+		b := newTestBreaker(t, clk, func(cfg *BreakerConfig) {
+			cfg.ProbeJitterFrac = 0.5
+			cfg.Rand = rand.New(rand.NewSource(seed))
+		})
+		var out []time.Duration
+		for trip := 0; trip < 5; trip++ {
+			for i := 0; i < 3; i++ {
+				b.Allow()
+				b.OnFailure()
+			}
+			out = append(out, b.openUntil-clk.Now())
+			clk.Advance(b.openUntil - clk.Now())
+			// Probe fails to allow an immediate re-trip; the re-trip draws
+			// the next jitter value.
+			b.Allow()
+		}
+		return out
+	}
+	a, b := windows(7), windows(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("window %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < 10*time.Millisecond || a[i] > 15*time.Millisecond {
+			t.Fatalf("window %d = %v outside [OpenFor, 1.5*OpenFor]", i, a[i])
+		}
+	}
+	c := windows(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+func TestBreakerDo(t *testing.T) {
+	clk := &fakeClock{}
+	b := newTestBreaker(t, clk, func(cfg *BreakerConfig) { cfg.FailureThreshold = 1 })
+	boom := errors.New("boom")
+	if err := b.Do(func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want boom", err)
+	}
+	if err := b.Do(func() error { return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Do on open breaker = %v, want ErrOpen", err)
+	}
+	clk.Advance(11 * time.Millisecond)
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("probe Do = %v, want nil", err)
+	}
+}
+
+func TestBreakerConfigValidation(t *testing.T) {
+	if _, err := NewBreaker(BreakerConfig{}); err == nil {
+		t.Fatal("breaker without a clock accepted")
+	}
+	clk := &fakeClock{}
+	for _, cfg := range []BreakerConfig{
+		{Now: clk.Now, FailureThreshold: -1},
+		{Now: clk.Now, OpenFor: -time.Second},
+		{Now: clk.Now, ProbeJitterFrac: -1},
+		{Now: clk.Now, HalfOpenSuccesses: -2},
+	} {
+		if _, err := NewBreaker(cfg); err == nil {
+			t.Fatalf("invalid config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	clk := &fakeClock{}
+	tb, err := NewTokenBucket(10, 2, clk.Now) // 10 tokens/s, burst 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Allow() || !tb.Allow() {
+		t.Fatal("full bucket denied its burst")
+	}
+	if tb.Allow() {
+		t.Fatal("empty bucket granted a token")
+	}
+	clk.Advance(100 * time.Millisecond) // refills one token
+	if !tb.Allow() {
+		t.Fatal("bucket did not refill after 100ms at 10/s")
+	}
+	if tb.Allow() {
+		t.Fatal("bucket granted more than the refill")
+	}
+	// Refill is capped at burst.
+	clk.Advance(10 * time.Second)
+	if !tb.AllowN(2) {
+		t.Fatal("bucket did not cap refill at burst")
+	}
+	if tb.Allow() {
+		t.Fatal("bucket exceeded burst capacity")
+	}
+}
+
+func TestTokenBucketValidation(t *testing.T) {
+	clk := &fakeClock{}
+	if _, err := NewTokenBucket(1, 1, nil); err == nil {
+		t.Fatal("bucket without a clock accepted")
+	}
+	if _, err := NewTokenBucket(0, 1, clk.Now); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewTokenBucket(1, 0, clk.Now); err == nil {
+		t.Fatal("zero burst accepted")
+	}
+}
+
+func TestAdmissionShedsBeyondQueue(t *testing.T) {
+	a, err := NewAdmission(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if a.InFlight() != 1 {
+		t.Fatalf("in-flight = %d, want 1", a.InFlight())
+	}
+	// Second request queues; third sheds.
+	queued := make(chan error, 1)
+	entered := make(chan struct{})
+	go func() {
+		// Signal once we are definitely in the wait queue.
+		go func() {
+			for a.Waiting() == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			close(entered)
+		}()
+		rel, err := a.Acquire(context.Background())
+		if err == nil {
+			rel()
+		}
+		queued <- err
+	}()
+	<-entered
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("over-queue acquire = %v, want ErrShed", err)
+	}
+	release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire = %v, want nil after release", err)
+	}
+	release() // idempotent
+	if a.Waiting() != 0 {
+		t.Fatalf("waiting = %d, want 0", a.Waiting())
+	}
+}
+
+func TestAdmissionRespectsContext(t *testing.T) {
+	a, err := NewAdmission(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := a.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled acquire = %v, want deadline exceeded", err)
+	}
+	if a.Waiting() != 0 {
+		t.Fatalf("waiting = %d after cancellation, want 0", a.Waiting())
+	}
+}
+
+func TestAdmissionValidation(t *testing.T) {
+	if _, err := NewAdmission(0, 1); err == nil {
+		t.Fatal("zero limit accepted")
+	}
+	if _, err := NewAdmission(1, -1); err == nil {
+		t.Fatal("negative queue accepted")
+	}
+}
+
+func TestBudgetPropagatesAndShrinks(t *testing.T) {
+	if _, ok := Remaining(context.Background()); ok {
+		t.Fatal("background context reports a budget")
+	}
+	ctx, cancel := WithBudget(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	left, ok := Remaining(ctx)
+	if !ok {
+		t.Fatal("budgeted context reports no budget")
+	}
+	if left <= 0 || left > 100*time.Millisecond {
+		t.Fatalf("remaining = %v, want (0, 100ms]", left)
+	}
+	// A child asking for more than the parent has is clamped.
+	child, cancel2 := WithBudget(ctx, time.Hour)
+	defer cancel2()
+	childLeft, _ := Remaining(child)
+	if childLeft > 100*time.Millisecond {
+		t.Fatalf("child budget %v exceeds parent's", childLeft)
+	}
+	dl, ok := child.Deadline()
+	if !ok {
+		t.Fatal("budgeted context carries no deadline")
+	}
+	if until := time.Until(dl); until > 100*time.Millisecond {
+		t.Fatalf("child deadline %v further than parent budget", until)
+	}
+}
+
+func TestBudgetSplit(t *testing.T) {
+	// Split on an unbudgeted context is a no-op.
+	ctx, cancel := Split(context.Background(), 0.5)
+	cancel()
+	if _, ok := Remaining(ctx); ok {
+		t.Fatal("split of unbudgeted context created a budget")
+	}
+	parent, cancel := WithBudget(context.Background(), time.Second)
+	defer cancel()
+	half, cancel2 := Split(parent, 0.5)
+	defer cancel2()
+	left, ok := Remaining(half)
+	if !ok {
+		t.Fatal("split context lost its budget")
+	}
+	if left > 600*time.Millisecond {
+		t.Fatalf("split remaining = %v, want about half of 1s", left)
+	}
+	// Out-of-range fractions clamp rather than explode.
+	over, cancel3 := Split(parent, 2)
+	defer cancel3()
+	if overLeft, _ := Remaining(over); overLeft > time.Second {
+		t.Fatalf("frac>1 split grew the budget to %v", overLeft)
+	}
+	zero, cancel4 := Split(parent, 0)
+	cancel4()
+	if _, ok := Remaining(zero); !ok {
+		t.Fatal("frac<=0 split should return the parent unchanged (still budgeted)")
+	}
+}
+
+func TestBudgetExpiry(t *testing.T) {
+	ctx, cancel := WithBudget(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(2 * time.Millisecond)
+	if left, ok := Remaining(ctx); !ok || left != 0 {
+		t.Fatalf("expired budget reports (%v, %v), want (0, true)", left, ok)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("expired budget context not cancelled")
+	}
+}

@@ -1,0 +1,102 @@
+package runner
+
+// Goroutine-leak regression tests: the worker pool must not strand
+// workers after a completed or cancelled campaign. NumGoroutine is
+// polled with a retry loop because exiting goroutines unwind
+// asynchronously after Run returns.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitNumGoroutine waits for the process to settle back to at most base
+// goroutines; on timeout it fails with all stacks.
+func waitNumGoroutine(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d, baseline %d\n%s", n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func leakShards(n int, run func(ctx context.Context, info Info) (int, error)) []Shard[int] {
+	shards := make([]Shard[int], n)
+	for i := range shards {
+		shards[i] = Shard[int]{Key: fmt.Sprintf("shard/%d", i), Run: run}
+	}
+	return shards
+}
+
+func TestRunPoolShutdownLeavesNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	shards := leakShards(32, func(ctx context.Context, info Info) (int, error) {
+		return int(info.Seed), nil
+	})
+	if _, err := Run(context.Background(), Config{Workers: 8}, shards); err != nil {
+		t.Fatal(err)
+	}
+	waitNumGoroutine(t, base)
+}
+
+func TestRunCancelledPoolLeavesNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 64)
+	shards := leakShards(64, func(ctx context.Context, info Info) (int, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, Config{Workers: 4}, shards)
+		done <- err
+	}()
+	for i := 0; i < 4; i++ {
+		<-started
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled campaign returned %v", err)
+	}
+	waitNumGoroutine(t, base)
+}
+
+func TestRunPanickingShardsLeaveNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	shards := leakShards(16, func(ctx context.Context, info Info) (int, error) {
+		if info.Index%2 == 0 {
+			panic("boom")
+		}
+		return 1, nil
+	})
+	results, err := Run(context.Background(), Config{Workers: 4}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panics := 0
+	for _, r := range results {
+		var pe *PanicError
+		if errors.As(r.Err, &pe) {
+			panics++
+		}
+	}
+	if panics != 8 {
+		t.Fatalf("panicked shards reported = %d, want 8", panics)
+	}
+	waitNumGoroutine(t, base)
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io/fs"
 	"math"
+	"math/rand"
 	"strconv"
 	"strings"
 	"time"
@@ -184,6 +185,30 @@ type RetryPolicy struct {
 	// retried attempt and once per recorded gap.
 	OnRetry func()
 	OnGap   func()
+	// Rand, when set, switches the backoff schedule from capped doubling
+	// to decorrelated jitter: each delay is drawn uniformly from
+	// [BaseBackoff, 3*previous], then capped at MaxBackoff, so parallel
+	// samplers retrying against the same faulty sensor spread out
+	// instead of hammering it in lockstep. Feed it a named simulation
+	// RNG stream to keep runs reproducible. Nil keeps plain doubling.
+	Rand *rand.Rand
+}
+
+// NextBackoff returns the delay that follows prev under this policy:
+// decorrelated jitter when Rand is set, capped doubling otherwise.
+func (p RetryPolicy) NextBackoff(prev time.Duration) time.Duration {
+	next := 2 * prev
+	if p.Rand != nil {
+		if hi := 3 * prev; hi > p.BaseBackoff {
+			next = p.BaseBackoff + time.Duration(p.Rand.Int63n(int64(hi-p.BaseBackoff)))
+		} else {
+			next = p.BaseBackoff
+		}
+	}
+	if next > p.MaxBackoff {
+		next = p.MaxBackoff
+	}
+	return next
 }
 
 // WithDefaults returns the policy with zero fields replaced by their
@@ -360,10 +385,7 @@ func (r *Recorder) attempt(now time.Duration) {
 		return
 	}
 	r.nextTry = now + r.backoff
-	r.backoff *= 2
-	if r.backoff > r.policy.MaxBackoff {
-		r.backoff = r.policy.MaxBackoff
-	}
+	r.backoff = r.policy.NextBackoff(r.backoff)
 }
 
 // recordGap appends a NaN sample and applies the consecutive-gap limit.
