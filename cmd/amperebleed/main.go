@@ -132,6 +132,8 @@ func run() int {
 	obsText := flag.Bool("obs", false, "print an observability snapshot after the command")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /metrics/stream, /healthz, /debug/pprof and /metrics/snapshot on this address while the command runs")
 	obsHold := flag.Duration("obs-hold", 0, "keep the -obs-addr server up this long after the command completes (for scraping a finished run)")
+	history := flag.Bool("history", false, "record a metrics time series while the command runs (served on /metrics/range and /metrics/query, rendered as sparklines by `top`)")
+	historyInterval := flag.Duration("history-interval", obs.DefaultHistoryInterval, "sampling interval of the -history recorder")
 	logLevel := flag.String("log-level", "warn", "structured log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "text", "structured log format: text|json")
 	faultsName := flag.String("faults", "none", "fault profile injected into every simulated board: "+strings.Join(faults.PresetNames(), "|"))
@@ -145,7 +147,12 @@ func run() int {
 		os.Exit(2)
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
-	if err := (runFlags{FaultIntensity: *faultIntensity, ObsHold: *obsHold}).validate(); err != nil {
+	if err := (runFlags{
+		FaultIntensity:  *faultIntensity,
+		ObsHold:         *obsHold,
+		History:         *history,
+		HistoryInterval: *historyInterval,
+	}).validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "amperebleed: %v\n", err)
 		return 2
 	}
@@ -168,6 +175,15 @@ func run() int {
 	defer stopNotify()
 	runCtx, stopSignals := watchSignals(context.Background(), sigCh, os.Exit)
 	defer stopSignals()
+	if *history {
+		// The recorder's own context, registered before the obs-server
+		// defer: LIFO ordering keeps history sampling live through an
+		// -obs-hold window, so a held server still answers /metrics/range
+		// with fresh windows.
+		histCtx, stopHistory := context.WithCancel(context.Background())
+		defer stopHistory()
+		obs.StartRecorder(histCtx, obs.RecorderOptions{Interval: *historyInterval})
+	}
 	if *obsAddr != "" {
 		serveCtx, stopServe := context.WithCancel(context.Background())
 		bound, shutdown, err := obs.Serve(serveCtx, *obsAddr, obs.Default)
@@ -193,6 +209,9 @@ func run() int {
 			shutdown()
 		}()
 		fmt.Fprintf(os.Stderr, "obs: serving http://%s/metrics (OpenMetrics), /metrics/stream (SSE), /healthz and /debug/pprof/\n", bound)
+		if *history {
+			fmt.Fprintf(os.Stderr, "obs: recording metrics history every %v; query /metrics/range and /metrics/query\n", *historyInterval)
+		}
 	}
 	switch cmd {
 	case "boards":
@@ -332,6 +351,12 @@ global flags (before the command):
                   (JSON) on ADDR while the command runs
   -obs-hold DUR   keep the -obs-addr server up DUR after the command
                   completes, so a finished run can still be scraped
+  -history        record a metrics time series while the command runs;
+                  the -obs-addr server then answers /metrics/range and
+                  /metrics/query, /healthz judges rules over recent
+                  windows, and top renders per-panel sparklines
+  -history-interval DUR
+                  sampling interval of the -history recorder (1s)
   -log-level L    structured log level: debug|info|warn|error (warn)
   -log-format F   structured log format: text|json (text)
   -faults NAME    inject sensor/scheduler faults into every simulated

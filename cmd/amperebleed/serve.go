@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jobs"
 	"repro/internal/jobs/kinds"
+	"repro/internal/obs"
 	"repro/internal/obs/olog"
 	"repro/internal/report"
 	"repro/internal/runner"
@@ -84,6 +85,12 @@ func cmdServe(ctx context.Context, args []string) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "serve: job API on http://%s/jobs (kinds: %v)\n", ln.Addr(), kinds.Names())
+	if rec := obs.Default.History(); rec != nil {
+		fmt.Fprintf(os.Stderr, "serve: metrics history recording every %v (%s clock); the -obs-addr server answers /metrics/range and /metrics/query\n",
+			rec.Interval(), rec.ClockName())
+	} else {
+		fmt.Fprintln(os.Stderr, "serve: metrics history off (enable with the global -history flag)")
+	}
 
 	log := olog.L("serve")
 	select {

@@ -26,6 +26,10 @@ type runFlags struct {
 	// selects the command's documented default (serial protocol or
 	// GOMAXPROCS).
 	Parallel int
+	// History is the global -history switch; HistoryInterval is the
+	// recorder's -history-interval, only constrained when History is on.
+	History         bool
+	HistoryInterval time.Duration
 }
 
 // validate returns the first problem found, phrased in terms of the
@@ -42,6 +46,9 @@ func (f runFlags) validate() error {
 	}
 	if f.Parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0 (0 selects the command's default; got %d)", f.Parallel)
+	}
+	if f.History && f.HistoryInterval <= 0 {
+		return fmt.Errorf("-history-interval must be > 0 when -history is on (got %v)", f.HistoryInterval)
 	}
 	return nil
 }

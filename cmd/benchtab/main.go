@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -63,6 +64,8 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run (load in Perfetto)")
 		logLevel   = flag.String("log-level", "warn", "structured log level: debug|info|warn|error")
 		logFormat  = flag.String("log-format", "text", "structured log format: text|json")
+		history    = flag.Bool("history", false, "record a metrics time series while the experiments run (the obs.tsdb recorder; its lazily registered self-metrics stay out of the deterministic-counter gate)")
+		historyInt = flag.Duration("history-interval", obs.DefaultHistoryInterval, "sampling interval of the -history recorder")
 	)
 	flag.Parse()
 	fail := func(err error) {
@@ -90,6 +93,15 @@ func main() {
 	if *compare && *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchtab: -compare requires -baseline FILE")
 		os.Exit(2)
+	}
+	if *history {
+		if *historyInt <= 0 {
+			fmt.Fprintf(os.Stderr, "benchtab: -history-interval must be > 0 (got %v)\n", *historyInt)
+			os.Exit(2)
+		}
+		histCtx, stopHistory := context.WithCancel(context.Background())
+		defer stopHistory()
+		obs.StartRecorder(histCtx, obs.RecorderOptions{Interval: *historyInt})
 	}
 
 	start := time.Now()

@@ -1,0 +1,138 @@
+package obs_test
+
+// Recording determinism: a history recorder driven by the sim clock
+// over a deterministic workload must retain byte-identical state no
+// matter how many workers executed the shards. This is the tsdb leg of
+// the repo-wide workers-1/4/16 invariance family (runner results,
+// ledger manifests, chaos fault counts) — here it covers the whole
+// sample → ring → downsample-tier path, JSON-dumped for comparison.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
+)
+
+type recordingCase struct {
+	seed    int64
+	levels  int64
+	samples int64
+	hostile bool
+}
+
+func genRecordingCase() check.Gen[recordingCase] {
+	return check.Map(check.SliceOf(check.IntRange(0, 1<<30), 4, 4), func(xs []int64) recordingCase {
+		return recordingCase{
+			seed:    1 + xs[0]%1000,
+			levels:  2 + xs[1]%3,
+			samples: 1 + xs[2]%3,
+			hostile: xs[3]%2 == 1,
+		}
+	})
+}
+
+// deterministicDump marshals the recorder's counter series, dropping
+// wall-derived series and the recorder's own bookkeeping (whose values
+// are deterministic here, but whose job is not under test). Gauges and
+// histogram expansions stay out: several (runner utilization, walltime
+// ratios, latency percentiles) legitimately depend on scheduling.
+func deterministicDump(t testing.TB, rec *obs.Recorder) []byte {
+	t.Helper()
+	dump := rec.Store().Dump()
+	for name, d := range dump {
+		if d.Kind != "counter" || strings.Contains(name, "walltime") || strings.HasPrefix(name, "obs.tsdb.") {
+			delete(dump, name)
+		}
+	}
+	b, err := json.MarshalIndent(dump, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// tickClock is a hand-cranked SimClock standing in for the sim engine's
+// clock: the test advances it at fixed protocol points, so sample
+// timestamps are a function of the protocol, not the scheduler.
+type tickClock struct{ now time.Duration }
+
+func (c *tickClock) Now() time.Duration { return c.now }
+
+func TestPropRecordingIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full characterize sweeps")
+	}
+	check.Forall(t, genRecordingCase(), func(c *check.T, tc recordingCase) {
+		c.Classify(tc.hostile, "hostile-faults")
+		var want []byte
+		warmed := false
+		for _, workers := range []int{1, 4, 16} {
+			obs.Default.Reset()
+			clk := &tickClock{}
+			rec := obs.Default.NewRecorder(obs.RecorderOptions{
+				Interval: time.Second,
+				Clock:    clk,
+				Tiers:    []tsdb.TierSpec{{Width: 2 * int64(time.Second), Capacity: 8}},
+			})
+			cfg := core.CharacterizeConfig{
+				Seed:            tc.seed,
+				Levels:          int(tc.levels),
+				SamplesPerLevel: int(tc.samples),
+				Parallelism:     workers,
+			}
+			if tc.hostile {
+				p, err := faults.Preset("hostile")
+				if err != nil {
+					c.Fatalf("preset: %v", err)
+				}
+				if p, err = p.Scale(0.3); err != nil {
+					c.Fatalf("scale: %v", err)
+				}
+				cfg.Faults = &p
+			}
+			// Warm the registry's metric namespace once: Reset zeroes
+			// values but keeps names, so without this the first worker
+			// count's baseline sample would see fewer series than later
+			// ones and the dumps would differ for a reason that has
+			// nothing to do with workers.
+			if !warmed {
+				if _, err := core.Characterize(cfg); err != nil {
+					c.Fatalf("warmup: %v", err)
+				}
+				obs.Default.Reset()
+				warmed = true
+			}
+			// Sample at three protocol points: baseline, mid (after one
+			// sweep), end (after a second sweep continuing the counters).
+			clk.now = time.Second
+			rec.Sample()
+			if _, err := core.Characterize(cfg); err != nil {
+				c.Fatalf("workers=%d: %v", workers, err)
+			}
+			clk.now = 2 * time.Second
+			rec.Sample()
+			if _, err := core.Characterize(cfg); err != nil {
+				c.Fatalf("workers=%d second sweep: %v", workers, err)
+			}
+			clk.now = 3 * time.Second
+			rec.Sample()
+
+			got := deterministicDump(t, rec)
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				c.Fatalf("workers=%d recording differs from workers=1 baseline:\n%s\nvs\n%s", workers, got, want)
+			}
+		}
+	}, check.Iters(6))
+}

@@ -48,7 +48,13 @@ func getOnly(h http.HandlerFunc) http.HandlerFunc {
 //	/metrics            OpenMetrics/Prometheus text exposition
 //	/metrics/stream     SSE feed of JSON snapshots (?interval=500ms)
 //	/metrics/snapshot   JSON Snapshot of the registry
-//	/healthz            watch-rule verdict (200 ok / 503 with violations)
+//	/metrics/range      retained history: raw points or aggregate windows
+//	                    (?series=a,b&window=10s&last=5m; catalog without
+//	                    series; 501 unless a history recorder is running)
+//	/metrics/query      history computations (?series=&fn=rate|quantile
+//	                    &window=&q=; 501 unless recording)
+//	/healthz            watch-rule verdict (200 ok / 503 with violations;
+//	                    ?verbose=1 for the full JSON verdict list)
 //	/trace              Chrome trace-event JSON of spans and events
 //	                    (Perfetto-loadable; 501 unless obs/export is linked in)
 //	/debug/vars         expvar (Go runtime memstats + the obs snapshot)
@@ -69,6 +75,8 @@ func NewHandler(r *Registry) http.Handler {
 		_ = r.WriteOpenMetrics(w)
 	}))
 	mux.HandleFunc("/metrics/stream", getOnly(streamHandler(r)))
+	mux.HandleFunc("/metrics/range", getOnly(historyRangeHandler(r)))
+	mux.HandleFunc("/metrics/query", getOnly(historyQueryHandler(r)))
 	mux.HandleFunc("/metrics/snapshot", getOnly(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
@@ -76,21 +84,49 @@ func NewHandler(r *Registry) http.Handler {
 		_ = enc.Encode(r.Snapshot())
 	}))
 	mux.HandleFunc("/healthz", getOnly(func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		verbose := req.URL.Query().Get("verbose") == "1"
 		watcher := r.health.Load()
 		if watcher == nil {
+			if verbose {
+				w.Header().Set("Content-Type", "application/json; charset=utf-8")
+				fmt.Fprintln(w, `{"healthy": true, "verdicts": []}`)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			fmt.Fprintln(w, "ok (no watch rules installed)")
 			return
 		}
-		violations := watcher.Evaluate()
-		if len(violations) == 0 {
+		verdicts := watcher.EvaluateVerdicts()
+		failed := 0
+		for _, v := range verdicts {
+			if !v.OK {
+				failed++
+			}
+		}
+		if verbose {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			if failed > 0 {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				Healthy  bool      `json:"healthy"`
+				Verdicts []Verdict `json:"verdicts"`
+			}{Healthy: failed == 0, Verdicts: verdicts})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if failed == 0 {
 			fmt.Fprintln(w, "ok")
 			return
 		}
 		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintf(w, "unhealthy: %d rule(s) violated\n", len(violations))
-		for _, v := range violations {
-			fmt.Fprintf(w, "  %s: %s\n", v.Rule, v.Detail)
+		fmt.Fprintf(w, "unhealthy: %d rule(s) violated\n", failed)
+		for _, v := range verdicts {
+			if !v.OK {
+				fmt.Fprintf(w, "  %s [%s]: %s\n", v.Rule, v.Window, v.Detail)
+			}
 		}
 	}))
 	mux.HandleFunc("/trace", getOnly(func(w http.ResponseWriter, req *http.Request) {

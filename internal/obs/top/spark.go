@@ -1,0 +1,214 @@
+package top
+
+// Sparklines: the dashboard's trend column. When the server (or the
+// in-process registry) runs a history recorder, each panel gains a
+// "hist" line — a block-rune sparkline of the recent windows plus a
+// delta over the fetched span — so a stall or burst is visible as a
+// shape, not just as the current number. Without history the lines are
+// simply absent; the dashboard never fails because recording is off.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
+)
+
+// sparkRunes are the eight block levels, lowest to highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders vals as a sparkline at most width runes wide (the most
+// recent values win). Values are normalized to the slice's own min/max;
+// a flat slice renders as all-low, and non-finite values render as
+// spaces.
+func Spark(vals []float64, width int) string {
+	if width <= 0 || len(vals) == 0 {
+		return ""
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo > hi { // nothing finite
+		return strings.Repeat(" ", len(vals))
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			b.WriteRune(' ')
+			continue
+		}
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// HistorySeries are the series the dashboard fetches for its hist
+// lines: gap/sample counters for the sampling panel, SNR and BER gauges
+// for the leakage and covert panels, shard progress for the shards
+// panel.
+var HistorySeries = []string{
+	"core.sampler.samples",
+	"core.sampler.gaps",
+	"trace.samples_recorded",
+	"trace.gaps_recorded",
+	"leakage.snr",
+	"covert.ber",
+	"runner.shards",
+}
+
+// History is the per-series windowed view behind the hist lines:
+// counters carry per-window increases, gauges per-window means, both
+// oldest first.
+type History struct {
+	// WindowNS is the aggregate window width in nanoseconds.
+	WindowNS int64
+	// Counters maps counter series to per-window increases.
+	Counters map[string][]float64
+	// Gauges maps gauge series to per-window means.
+	Gauges map[string][]float64
+}
+
+// Values returns the series' sparkline values (counter increases or
+// gauge means), nil when the series is absent.
+func (h *History) Values(name string) []float64 {
+	if h == nil {
+		return nil
+	}
+	if vs, ok := h.Counters[name]; ok {
+		return vs
+	}
+	return h.Gauges[name]
+}
+
+// Delta returns the series' change over the fetched span: the summed
+// increases for a counter, last mean minus first mean for a gauge.
+func (h *History) Delta(name string) (float64, bool) {
+	if h == nil {
+		return 0, false
+	}
+	if vs, ok := h.Counters[name]; ok && len(vs) > 0 {
+		sum := 0.0
+		for _, v := range vs {
+			sum += v
+		}
+		return sum, true
+	}
+	if vs, ok := h.Gauges[name]; ok && len(vs) > 0 {
+		return vs[len(vs)-1] - vs[0], true
+	}
+	return 0, false
+}
+
+// addSeries folds one series' windows into the history.
+func (h *History) addSeries(name, kind string, ws []tsdb.Window) {
+	switch kind {
+	case "counter":
+		vals := make([]float64, 0, len(ws))
+		prev := math.NaN()
+		for _, w := range ws {
+			d := w.Last - prev
+			if math.IsNaN(prev) {
+				d = w.Last - w.First
+			}
+			if d < 0 {
+				d = 0
+			}
+			prev = w.Last
+			vals = append(vals, d)
+		}
+		if len(vals) > 0 {
+			h.Counters[name] = vals
+		}
+	case "gauge":
+		vals := make([]float64, 0, len(ws))
+		for _, w := range ws {
+			vals = append(vals, w.Mean)
+		}
+		if len(vals) > 0 {
+			h.Gauges[name] = vals
+		}
+	}
+}
+
+// HistoryFromResponse converts a /metrics/range window-mode response
+// into the dashboard's History.
+func HistoryFromResponse(resp obs.RangeResponse) *History {
+	h := &History{WindowNS: resp.WindowNS, Counters: map[string][]float64{}, Gauges: map[string][]float64{}}
+	for _, sr := range resp.Series {
+		h.addSeries(sr.Name, sr.Kind, sr.Windows)
+	}
+	return h
+}
+
+// HistoryFromRecorder builds the History straight from an in-process
+// recorder (top's self-contained demo and -once modes), mirroring what
+// FetchHistory gets over HTTP.
+func HistoryFromRecorder(rec *obs.Recorder, series []string, window, last time.Duration) *History {
+	if rec == nil {
+		return nil
+	}
+	if window <= 0 {
+		window = 10 * rec.Interval()
+	}
+	to := rec.Now()
+	from := to - int64(last)
+	if last <= 0 {
+		from = math.MinInt64
+	}
+	h := &History{WindowNS: int64(window), Counters: map[string][]float64{}, Gauges: map[string][]float64{}}
+	for _, name := range series {
+		kind, ok := rec.Store().Kind(name)
+		if !ok {
+			continue
+		}
+		h.addSeries(name, kind.String(), rec.Store().Windows(name, int64(window), from, to))
+	}
+	return h
+}
+
+// histLine renders one panel's hist line: "name ▁▂▃ Δ+n" segments for
+// each series present in the history. Empty when none are.
+func histLine(h *History, width int, segments ...[2]string) string {
+	if h == nil {
+		return ""
+	}
+	var parts []string
+	for _, seg := range segments {
+		label, series := seg[0], seg[1]
+		vals := h.Values(series)
+		if len(vals) == 0 {
+			continue
+		}
+		d, _ := h.Delta(series)
+		parts = append(parts, fmt.Sprintf("%s %s Δ%+.4g", label, Spark(vals, width), d))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "  hist     " + strings.Join(parts, "   ")
+}

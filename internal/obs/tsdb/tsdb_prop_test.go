@@ -1,0 +1,158 @@
+package tsdb_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/obs/tsdb"
+)
+
+// decodePoints turns a generated code slice into a time-ordered point
+// sequence. Timestamps accumulate a bounded positive step; values are
+// integer-valued floats, which keeps window sums exact (integer float64
+// addition is associative), so the merge-associativity property can
+// demand bitwise equality rather than tolerance.
+func decodePoints(codes []int64) []tsdb.Point {
+	pts := make([]tsdb.Point, 0, len(codes))
+	t := int64(0)
+	for _, c := range codes {
+		if c < 0 {
+			c = -c
+		}
+		t += 1 + c%(3*int64(time.Second))
+		pts = append(pts, tsdb.Point{T: t, V: float64(c % 401)})
+	}
+	return pts
+}
+
+func genCodes(maxLen int) check.Gen[[]int64] {
+	return check.SliceOf(check.IntRange(0, 1<<30), 0, maxLen)
+}
+
+// widths worth probing: sub-step, step-scale, and much coarser.
+var propWidths = []int64{
+	int64(250 * time.Millisecond),
+	int64(time.Second),
+	int64(5 * time.Second),
+	int64(30 * time.Second),
+}
+
+// TestPropDownsampleMergeAssociativity pins the algebra the Store's
+// sealed+open window query relies on: for every split point,
+// Downsample(a ++ b) == MergeWindows(Downsample(a), Downsample(b)).
+func TestPropDownsampleMergeAssociativity(t *testing.T) {
+	check.Forall(t, genCodes(48), func(c *check.T, codes []int64) {
+		pts := decodePoints(codes)
+		for _, width := range propWidths {
+			whole := tsdb.Downsample(pts, width)
+			for split := 0; split <= len(pts); split++ {
+				merged := tsdb.MergeWindows(tsdb.Downsample(pts[:split], width), tsdb.Downsample(pts[split:], width))
+				if len(merged) != len(whole) {
+					c.Fatalf("width %d split %d: %d windows merged vs %d whole", width, split, len(merged), len(whole))
+				}
+				for i := range whole {
+					if merged[i] != whole[i] {
+						c.Fatalf("width %d split %d window %d:\n merged %+v\n  whole %+v", width, split, i, merged[i], whole[i])
+					}
+				}
+			}
+		}
+	}, check.Iters(150))
+}
+
+// TestPropWindowEnvelope checks every window Downsample emits: aligned
+// span, count >= 1, min <= first,last,mean <= max, sum consistent, and
+// strictly increasing starts.
+func TestPropWindowEnvelope(t *testing.T) {
+	check.Forall(t, genCodes(64), func(c *check.T, codes []int64) {
+		pts := decodePoints(codes)
+		for _, width := range propWidths {
+			ws := tsdb.Downsample(pts, width)
+			c.Classify(len(ws) > 1, "multi-window")
+			prevStart := int64(-1)
+			var total int64
+			for i, w := range ws {
+				if w.Start%width != 0 || w.End != w.Start+width {
+					c.Fatalf("width %d window %d misaligned: %+v", width, i, w)
+				}
+				if w.Start <= prevStart {
+					c.Fatalf("width %d window %d start not increasing: %+v", width, i, w)
+				}
+				prevStart = w.Start
+				if w.Count < 1 {
+					c.Fatalf("width %d window %d empty: %+v", width, i, w)
+				}
+				if w.Min > w.Max || w.Mean < w.Min || w.Mean > w.Max ||
+					w.First < w.Min || w.First > w.Max || w.Last < w.Min || w.Last > w.Max {
+					c.Fatalf("width %d window %d envelope violated: %+v", width, i, w)
+				}
+				if w.Mean != w.Sum/float64(w.Count) {
+					c.Fatalf("width %d window %d mean != sum/count: %+v", width, i, w)
+				}
+				total += w.Count
+			}
+			if total != int64(len(pts)) {
+				c.Fatalf("width %d: windows absorbed %d of %d points", width, total, len(pts))
+			}
+		}
+	}, check.Iters(200))
+}
+
+// TestPropRetentionBound feeds a store with tiny caps and checks the
+// bounds hold at every step: raw points never exceed RawCapacity, each
+// tier never exceeds Capacity sealed windows plus one open, and the
+// sample/eviction accounting stays consistent.
+func TestPropRetentionBound(t *testing.T) {
+	const rawCap, tierCap = 5, 3
+	width := int64(time.Second)
+	check.Forall(t, genCodes(64), func(c *check.T, codes []int64) {
+		s := tsdb.New(tsdb.Options{RawCapacity: rawCap, Tiers: []tsdb.TierSpec{{Width: width, Capacity: tierCap}}})
+		pts := decodePoints(codes)
+		for i, p := range pts {
+			s.Append("x", tsdb.Gauge, p.T, p.V)
+			if got := len(s.Range("x", 0, 1<<62)); got > rawCap {
+				c.Fatalf("after %d appends: %d raw points retained, cap %d", i+1, got, rawCap)
+			}
+			if got := len(s.Windows("x", width, 0, 1<<62)); got > tierCap+1 {
+				c.Fatalf("after %d appends: %d tier windows retained, cap %d+open", i+1, got, tierCap)
+			}
+		}
+		st := s.Stats()
+		c.Classify(st.Evictions > 0, "evicted")
+		if st.Samples != int64(len(pts)) {
+			c.Fatalf("samples = %d, appended %d", st.Samples, len(pts))
+		}
+		if st.Points > rawCap {
+			c.Fatalf("stats report %d raw points, cap %d", st.Points, rawCap)
+		}
+		if len(pts) > rawCap && st.Evictions == 0 {
+			c.Fatalf("%d appends over cap %d but no evictions counted", len(pts), rawCap)
+		}
+	}, check.Iters(150))
+}
+
+// TestPropStoreWindowsMatchDownsample: for a store whose raw ring has
+// not evicted, a tier-width query must agree with downsampling the raw
+// points directly — sealed+open merging is an optimization, not a
+// different answer.
+func TestPropStoreWindowsMatchDownsample(t *testing.T) {
+	width := int64(time.Second)
+	check.Forall(t, genCodes(32), func(c *check.T, codes []int64) {
+		s := tsdb.New(tsdb.Options{RawCapacity: 64, Tiers: []tsdb.TierSpec{{Width: width, Capacity: 64}}})
+		pts := decodePoints(codes)
+		for _, p := range pts {
+			s.Append("x", tsdb.Gauge, p.T, p.V)
+		}
+		want := tsdb.Downsample(pts, width)
+		got := s.Windows("x", width, 0, 1<<62)
+		if len(got) != len(want) {
+			c.Fatalf("store answered %d windows, direct downsample %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				c.Fatalf("window %d: store %+v vs downsample %+v", i, got[i], want[i])
+			}
+		}
+	}, check.Iters(150))
+}

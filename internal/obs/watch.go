@@ -4,10 +4,19 @@ package obs
 // the resilient sampling layer absorbs faults into gaps and retries,
 // and nothing complains until the post-hoc analysis looks wrong. A
 // Watcher turns the registry's own metrics into a live verdict — each
-// rule inspects consecutive snapshots, violations are emitted as
-// structured warn-level events (and through an optional callback, which
-// the CLIs route into the olog facade), and the /healthz endpoint
-// reports the current verdict for scripts and orchestrators.
+// rule inspects the current snapshot (and, when a history recorder is
+// running, the retained time series, so ratio rules judge the last N
+// sampling windows instead of the whole process lifetime), violations
+// are emitted as structured warn-level events (and through an optional
+// callback, which the CLIs route into the olog facade), and the
+// /healthz endpoint reports the current verdict for scripts and
+// orchestrators (?verbose=1 for the full structured list).
+//
+// Windowed evaluation is what lets /healthz recover: a transient fault
+// burst during a covert run pushes the recent-window gap ratio over
+// threshold (503) and then ages out of the window (back to 200), where
+// a cumulative ratio would have pinned the verdict unhealthy for the
+// rest of the process.
 //
 // Like the stream counters, obs.watch.violations is registered lazily
 // by Watch so non-watching processes keep their deterministic counter
@@ -30,71 +39,146 @@ type Violation struct {
 	At time.Time `json:"at"`
 }
 
-// Rule is one health predicate over the registry. Check receives the
-// previous and current snapshot; on the first evaluation prev is the
-// zero Snapshot and hasPrev is false, which rate-style rules use to
-// withhold judgement until they have a window.
+// Verdict is one rule's structured evaluation result, the schema behind
+// /healthz?verbose=1.
+type Verdict struct {
+	// Rule is the rule's name.
+	Rule string `json:"rule"`
+	// OK reports whether the rule passed.
+	OK bool `json:"ok"`
+	// Window names the evaluation horizon: "10×1s" for a windowed rule
+	// judging the last 10 one-second samples, "cumulative" for
+	// process-lifetime totals, "instant" for point-in-time checks.
+	Window string `json:"window"`
+	// Observed and Threshold are the compared values.
+	Observed  float64 `json:"observed"`
+	Threshold float64 `json:"threshold"`
+	// Detail is the human-readable explanation (set on failure).
+	Detail string `json:"detail,omitempty"`
+	// At is the evaluation time.
+	At time.Time `json:"at"`
+}
+
+// EvalInput is what a rule sees: the previous and current snapshots
+// (prev is zero and HasPrev false on the first evaluation) and the
+// registry's history recorder when one is running (nil otherwise),
+// which windowed rules use and others ignore.
+type EvalInput struct {
+	Prev    Snapshot
+	Cur     Snapshot
+	HasPrev bool
+	History *Recorder
+}
+
+// Rule is one health predicate over the registry.
 type Rule struct {
 	// Name identifies the rule in events, logs, and /healthz output.
 	Name string
-	// Check returns ok=false and a human-readable detail on violation.
-	Check func(prev, cur Snapshot, hasPrev bool) (ok bool, detail string)
+	// Eval judges the input and returns a structured verdict; the
+	// watcher fills Rule and At.
+	Eval func(in EvalInput) Verdict
+}
+
+// fail formats a failing verdict.
+func fail(window string, observed, threshold float64, format string, args ...any) Verdict {
+	return Verdict{OK: false, Window: window, Observed: observed, Threshold: threshold, Detail: fmt.Sprintf(format, args...)}
+}
+
+func pass(window string, observed, threshold float64) Verdict {
+	return Verdict{OK: true, Window: window, Observed: observed, Threshold: threshold}
 }
 
 // CounterRateRule fails when the named counter grows faster than
 // maxPerSec, measured between consecutive evaluations (wall clock).
 func CounterRateRule(name, counter string, maxPerSec float64) Rule {
-	return Rule{Name: name, Check: func(prev, cur Snapshot, hasPrev bool) (bool, string) {
-		if !hasPrev {
-			return true, ""
+	return Rule{Name: name, Eval: func(in EvalInput) Verdict {
+		if !in.HasPrev {
+			return pass("instant", 0, maxPerSec)
 		}
-		dt := cur.TakenAt.Sub(prev.TakenAt).Seconds()
+		dt := in.Cur.TakenAt.Sub(in.Prev.TakenAt).Seconds()
 		if dt <= 0 {
-			return true, ""
+			return pass("instant", 0, maxPerSec)
 		}
-		rate := float64(cur.Counter(counter)-prev.Counter(counter)) / dt
+		rate := float64(in.Cur.Counter(counter)-in.Prev.Counter(counter)) / dt
 		if rate > maxPerSec {
-			return false, fmt.Sprintf("%s rate %.1f/s exceeds %.1f/s", counter, rate, maxPerSec)
+			return fail("instant", rate, maxPerSec, "%s rate %.1f/s exceeds %.1f/s", counter, rate, maxPerSec)
 		}
-		return true, ""
+		return pass("instant", rate, maxPerSec)
 	}}
 }
 
-// RatioRule fails when num/den exceeds max (den==0 never fails).
+// RatioRule fails when cumulative num/den exceeds max (den==0 never
+// fails). Prefer WindowedRatioRule for long-running processes — a
+// cumulative ratio never forgets a transient burst.
 func RatioRule(name, num, den string, max float64) Rule {
-	return Rule{Name: name, Check: func(_, cur Snapshot, _ bool) (bool, string) {
-		d := cur.Counter(den)
-		if d == 0 {
-			return true, ""
-		}
-		ratio := float64(cur.Counter(num)) / float64(d)
-		if ratio > max {
-			return false, fmt.Sprintf("%s/%s = %.3f exceeds %.3f", num, den, ratio, max)
-		}
-		return true, ""
+	return Rule{Name: name, Eval: func(in EvalInput) Verdict {
+		return ratioVerdict("cumulative", float64(in.Cur.Counter(num)), float64(in.Cur.Counter(den)), num, den, max)
 	}}
+}
+
+// DefaultHealthWindows is how many sampling intervals windowed default
+// rules look back over.
+const DefaultHealthWindows = 10
+
+// WindowedRatioRule fails when num/den, measured over the last windows
+// sampling intervals of the registry's history, exceeds max. Without a
+// history recorder — or before it holds two points in the window — the
+// rule falls back to the cumulative ratio, so health checks degrade
+// gracefully rather than going silent; the verdict's Window field says
+// which horizon judged ("10×1s" vs "cumulative").
+func WindowedRatioRule(name, num, den string, max float64, windows int) Rule {
+	if windows < 1 {
+		windows = DefaultHealthWindows
+	}
+	return Rule{Name: name, Eval: func(in EvalInput) Verdict {
+		if h := in.History; h != nil {
+			dn, okN := h.WindowedCounterDelta(num, windows)
+			dd, okD := h.WindowedCounterDelta(den, windows)
+			if okN && okD {
+				window := fmt.Sprintf("%d×%s", windows, h.Interval())
+				return ratioVerdict(window, dn, dd, num, den, max)
+			}
+		}
+		return ratioVerdict("cumulative", float64(in.Cur.Counter(num)), float64(in.Cur.Counter(den)), num, den, max)
+	}}
+}
+
+func ratioVerdict(window string, num, den float64, numName, denName string, max float64) Verdict {
+	if den == 0 {
+		return pass(window, 0, max)
+	}
+	ratio := num / den
+	if ratio > max {
+		return fail(window, ratio, max, "%s/%s = %.3f exceeds %.3f over %s", numName, denName, ratio, max, window)
+	}
+	return pass(window, ratio, max)
 }
 
 // GaugeCeilingRule fails when the named gauge exceeds max.
 func GaugeCeilingRule(name, gauge string, max float64) Rule {
-	return Rule{Name: name, Check: func(_, cur Snapshot, _ bool) (bool, string) {
-		if v := cur.Gauge(gauge); v > max {
-			return false, fmt.Sprintf("%s = %g exceeds ceiling %g", gauge, v, max)
+	return Rule{Name: name, Eval: func(in EvalInput) Verdict {
+		v := in.Cur.Gauge(gauge)
+		if v > max {
+			return fail("instant", v, max, "%s = %g exceeds ceiling %g", gauge, v, max)
 		}
-		return true, ""
+		return pass("instant", v, max)
 	}}
 }
 
 // DefaultHealthRules are the rules the CLIs install when serving obs
 // endpoints: the sampling layer may absorb faults, but when more than
 // half the recorded samples are gaps, or one sampler is stuck in a long
-// consecutive-gap run, the run's figures are no longer trustworthy.
+// consecutive-gap run, the run's figures are no longer trustworthy. The
+// ratio rules evaluate over the last DefaultHealthWindows sampling
+// intervals when a history recorder is running (so /healthz recovers
+// once a transient burst ages out) and over cumulative totals
+// otherwise.
 func DefaultHealthRules() []Rule {
 	return []Rule{
-		RatioRule("trace.gap_ratio", "trace.gaps_recorded", "trace.samples_recorded", 0.5),
-		RatioRule("core.sampler.gap_ratio", "core.sampler.gaps", "core.sampler.samples", 0.5),
+		WindowedRatioRule("trace.gap_ratio", "trace.gaps_recorded", "trace.samples_recorded", 0.5, DefaultHealthWindows),
+		WindowedRatioRule("core.sampler.gap_ratio", "core.sampler.gaps", "core.sampler.samples", 0.5, DefaultHealthWindows),
 		GaugeCeilingRule("core.sampler.consecutive_gaps", "core.sampler.consecutive_gaps", 64),
-		RatioRule("runner.shard_failures", "runner.shards_failed", "runner.shards", 0.25),
+		WindowedRatioRule("runner.shard_failures", "runner.shards_failed", "runner.shards", 0.25, DefaultHealthWindows),
 	}
 }
 
@@ -106,7 +190,7 @@ type Watcher struct {
 	mu          sync.Mutex
 	prev        Snapshot
 	hasPrev     bool
-	last        []Violation
+	last        []Verdict
 	onViolation func(Violation)
 	violations  *Counter
 }
@@ -137,28 +221,32 @@ func (w *Watcher) OnViolation(f func(Violation)) {
 	w.onViolation = f
 }
 
-// Evaluate snapshots the registry, runs every rule, records violations
-// as warn events and through the callback, and returns them. The
-// snapshot becomes the "previous" for the next evaluation's rate rules.
-func (w *Watcher) Evaluate() []Violation {
+// EvaluateVerdicts snapshots the registry, runs every rule, records
+// violations as warn events and through the callback, and returns one
+// verdict per rule (passing and failing). The snapshot becomes the
+// "previous" for the next evaluation's rate rules.
+func (w *Watcher) EvaluateVerdicts() []Verdict {
 	cur := w.reg.Snapshot()
 	w.mu.Lock()
 	prev, hasPrev, cb := w.prev, w.hasPrev, w.onViolation
 	w.prev, w.hasPrev = cur, true
 	w.mu.Unlock()
 
-	var out []Violation
+	in := EvalInput{Prev: prev, Cur: cur, HasPrev: hasPrev, History: w.reg.History()}
+	out := make([]Verdict, 0, len(w.rules))
 	for _, rule := range w.rules {
-		ok, detail := rule.Check(prev, cur, hasPrev)
-		if ok {
+		v := rule.Eval(in)
+		v.Rule = rule.Name
+		v.At = cur.TakenAt
+		out = append(out, v)
+		if v.OK {
 			continue
 		}
-		v := Violation{Rule: rule.Name, Detail: detail, At: cur.TakenAt}
-		out = append(out, v)
+		viol := Violation{Rule: v.Rule, Detail: v.Detail, At: v.At}
 		w.violations.Inc()
-		w.reg.Eventf("WARN watch: %s: %s", v.Rule, v.Detail)
+		w.reg.Eventf("WARN watch: %s: %s", viol.Rule, viol.Detail)
 		if cb != nil {
-			cb(v)
+			cb(viol)
 		}
 	}
 	w.mu.Lock()
@@ -167,11 +255,34 @@ func (w *Watcher) Evaluate() []Violation {
 	return out
 }
 
+// Evaluate runs EvaluateVerdicts and returns only the violations — the
+// shape the CLIs and older callers consume.
+func (w *Watcher) Evaluate() []Violation {
+	return violationsOf(w.EvaluateVerdicts())
+}
+
+func violationsOf(vs []Verdict) []Violation {
+	var out []Violation
+	for _, v := range vs {
+		if !v.OK {
+			out = append(out, Violation{Rule: v.Rule, Detail: v.Detail, At: v.At})
+		}
+	}
+	return out
+}
+
 // Last returns the violations of the most recent evaluation.
 func (w *Watcher) Last() []Violation {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return append([]Violation(nil), w.last...)
+	return violationsOf(w.last)
+}
+
+// LastVerdicts returns every verdict of the most recent evaluation.
+func (w *Watcher) LastVerdicts() []Verdict {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Verdict(nil), w.last...)
 }
 
 // Run evaluates the rules every interval until ctx is done. It is the

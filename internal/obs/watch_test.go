@@ -13,19 +13,22 @@ import (
 func TestRatioRule(t *testing.T) {
 	rule := RatioRule("gap_ratio", "gaps", "samples", 0.5)
 	cur := Snapshot{Counters: map[string]int64{"gaps": 3, "samples": 10}}
-	if ok, _ := rule.Check(Snapshot{}, cur, true); !ok {
+	if v := rule.Eval(EvalInput{Cur: cur, HasPrev: true}); !v.OK {
 		t.Fatal("30% gaps flagged at a 50% threshold")
 	}
 	cur.Counters["gaps"] = 6
-	ok, detail := rule.Check(Snapshot{}, cur, true)
-	if ok {
+	v := rule.Eval(EvalInput{Cur: cur, HasPrev: true})
+	if v.OK {
 		t.Fatal("60% gaps passed a 50% threshold")
 	}
-	if !strings.Contains(detail, "gaps/samples") {
-		t.Fatalf("detail = %q", detail)
+	if !strings.Contains(v.Detail, "gaps/samples") {
+		t.Fatalf("detail = %q", v.Detail)
+	}
+	if v.Window != "cumulative" || v.Observed != 0.6 || v.Threshold != 0.5 {
+		t.Fatalf("verdict = %+v", v)
 	}
 	// Zero denominator: no data is not a violation.
-	if ok, _ := rule.Check(Snapshot{}, Snapshot{Counters: map[string]int64{"gaps": 5}}, true); !ok {
+	if v := rule.Eval(EvalInput{Cur: Snapshot{Counters: map[string]int64{"gaps": 5}}, HasPrev: true}); !v.OK {
 		t.Fatal("zero denominator flagged")
 	}
 }
@@ -36,25 +39,78 @@ func TestCounterRateRule(t *testing.T) {
 	prev := Snapshot{TakenAt: t0, Counters: map[string]int64{"gaps": 0}}
 	cur := Snapshot{TakenAt: t0.Add(time.Second), Counters: map[string]int64{"gaps": 5}}
 	// First evaluation has no window: always ok.
-	if ok, _ := rule.Check(Snapshot{}, cur, false); !ok {
+	if v := rule.Eval(EvalInput{Cur: cur}); !v.OK {
 		t.Fatal("first evaluation flagged without a window")
 	}
-	if ok, _ := rule.Check(prev, cur, true); !ok {
+	if v := rule.Eval(EvalInput{Prev: prev, Cur: cur, HasPrev: true}); !v.OK {
 		t.Fatal("5/s flagged at a 10/s threshold")
 	}
 	cur.Counters["gaps"] = 50
-	if ok, _ := rule.Check(prev, cur, true); ok {
+	if v := rule.Eval(EvalInput{Prev: prev, Cur: cur, HasPrev: true}); v.OK {
 		t.Fatal("50/s passed a 10/s threshold")
 	}
 }
 
 func TestGaugeCeilingRule(t *testing.T) {
 	rule := GaugeCeilingRule("consec", "core.sampler.consecutive_gaps", 64)
-	if ok, _ := rule.Check(Snapshot{}, Snapshot{Gauges: map[string]float64{"core.sampler.consecutive_gaps": 64}}, true); !ok {
+	if v := rule.Eval(EvalInput{Cur: Snapshot{Gauges: map[string]float64{"core.sampler.consecutive_gaps": 64}}, HasPrev: true}); !v.OK {
 		t.Fatal("value at the ceiling flagged")
 	}
-	if ok, _ := rule.Check(Snapshot{}, Snapshot{Gauges: map[string]float64{"core.sampler.consecutive_gaps": 65}}, true); ok {
+	v := rule.Eval(EvalInput{Cur: Snapshot{Gauges: map[string]float64{"core.sampler.consecutive_gaps": 65}}, HasPrev: true})
+	if v.OK {
 		t.Fatal("value above the ceiling passed")
+	}
+	if v.Window != "instant" || v.Observed != 65 {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestWindowedRatioRuleRecovers(t *testing.T) {
+	r := NewRegistry()
+	clk := &fakeClock{}
+	rec := r.NewRecorder(RecorderOptions{Interval: time.Second, Clock: clk})
+	r.history.Store(rec)
+	gaps := r.Counter("gaps")
+	samples := r.Counter("samples")
+	rule := WindowedRatioRule("gap_ratio", "gaps", "samples", 0.5, 5)
+
+	// A fault burst: 9 of 10 samples are gaps during the first seconds.
+	for i := 0; i < 5; i++ {
+		samples.Add(2)
+		gaps.Add(2)
+		clk.now += time.Second
+		rec.Sample()
+	}
+	in := EvalInput{Cur: r.Snapshot(), HasPrev: true, History: rec}
+	v := rule.Eval(in)
+	if v.OK {
+		t.Fatalf("100%% gaps in-window passed: %+v", v)
+	}
+	if v.Window != "5×1s" {
+		t.Fatalf("window = %q, want 5×1s", v.Window)
+	}
+
+	// The burst stops; clean sampling continues. Once the burst ages out
+	// of the 5-interval window the rule recovers even though the
+	// cumulative ratio is still ~29%... and a cumulative 0.15-threshold
+	// rule would never recover.
+	for i := 0; i < 8; i++ {
+		samples.Add(5)
+		clk.now += time.Second
+		rec.Sample()
+	}
+	v = rule.Eval(EvalInput{Cur: r.Snapshot(), HasPrev: true, History: rec})
+	if !v.OK {
+		t.Fatalf("recovered window still failing: %+v", v)
+	}
+	if v.Window != "5×1s" {
+		t.Fatalf("window = %q after recovery", v.Window)
+	}
+
+	// Cumulative fallback: without history the same rule judges totals.
+	v = rule.Eval(EvalInput{Cur: r.Snapshot(), HasPrev: true})
+	if v.Window != "cumulative" {
+		t.Fatalf("no-history window = %q, want cumulative", v.Window)
 	}
 }
 

@@ -1,12 +1,18 @@
 #!/bin/sh
 # telemetry_smoke.sh — end-to-end smoke test of the live telemetry
-# stack: start an amperebleed run serving -obs-addr, then verify that
+# stack: start an amperebleed run serving -obs-addr with -history, then
+# verify that
 #
-#   * /healthz answers (and reaches "ok" or a diagnosed verdict),
+#   * /healthz answers (and reaches "ok" or a diagnosed verdict), and
+#     /healthz?verbose=1 returns the per-rule verdict JSON,
 #   * /metrics is a valid OpenMetrics exposition (checked with the
 #     in-repo parser via cmd/metricscheck) carrying the core families,
-#   * /metrics/stream emits at least one SSE metrics frame,
-#   * `amperebleed top -once -addr` renders a dashboard frame from it,
+#   * /metrics/stream emits SSE metrics frames whose snapshots validate
+#     (metricscheck -stream),
+#   * /metrics/range and /metrics/query return valid history JSON
+#     (metricscheck -range / -query),
+#   * `amperebleed top -once -addr` renders a dashboard frame with
+#     sparkline hist lines from the recorded history,
 #   * a plain `amperebleed top -once` demo run renders all five panels.
 #
 # Everything binds to a loopback port picked by the kernel.
@@ -20,8 +26,9 @@ echo "== build =="
 go build -o "$TMP/amperebleed" ./cmd/amperebleed
 go build -o "$TMP/metricscheck" ./cmd/metricscheck
 
-echo "== start server (covert run under the hostile fault profile) =="
+echo "== start server (covert run under the hostile fault profile, recording history) =="
 "$TMP/amperebleed" -obs-addr 127.0.0.1:0 -obs-hold 60s -faults hostile \
+    -history -history-interval 200ms \
     covert -bits 64 >"$TMP/run.log" 2>"$TMP/run.err" &
 SERVER_PID=$!
 
@@ -41,6 +48,11 @@ echo "== /healthz =="
 HEALTH=$(curl -fsS "http://$ADDR/healthz")
 echo "$HEALTH"
 
+echo "== /healthz?verbose=1 (windowed rule verdicts) =="
+curl -fsS "http://$ADDR/healthz?verbose=1" >"$TMP/healthz.json" || true
+grep -q '"verdicts"' "$TMP/healthz.json" \
+    || { echo "FAIL: verbose healthz lacks verdicts"; cat "$TMP/healthz.json"; exit 1; }
+
 echo "== /metrics (validated with the in-repo parser) =="
 curl -fsS "http://$ADDR/metrics" >"$TMP/metrics.txt"
 "$TMP/metricscheck" -require sim_ticks,core_sampler_samples,covert_ber "$TMP/metrics.txt"
@@ -49,20 +61,32 @@ echo "== /metrics/snapshot cross-check =="
 curl -fsS "http://$ADDR/metrics/snapshot" | grep -q '"counters"' \
     || { echo "FAIL: snapshot endpoint lacks counters"; exit 1; }
 
-echo "== /metrics/stream (SSE) =="
-curl -fsS --max-time 5 -N "http://$ADDR/metrics/stream?interval=200ms" \
-    >"$TMP/stream.txt" 2>/dev/null || true
-grep -q '^event: metrics' "$TMP/stream.txt" \
-    || { echo "FAIL: no SSE metrics frame seen"; head "$TMP/stream.txt"; exit 1; }
-FRAMES=$(grep -c '^event: metrics' "$TMP/stream.txt")
-echo "received $FRAMES SSE frame(s)"
+echo "== /metrics/stream (SSE, snapshots validated) =="
+"$TMP/metricscheck" -stream 2 -url "http://$ADDR"
 
-echo "== top -once against the live server =="
+# Give the 200ms recorder time to seal a few windows before querying.
+sleep 1
+
+echo "== /metrics/range (history JSON validated) =="
+curl -fsS "http://$ADDR/metrics/range?series=core.sampler.samples,covert.ber&last=30s" \
+    | "$TMP/metricscheck" -range -
+curl -fsS "http://$ADDR/metrics/range?series=core.sampler.samples&window=1s&last=30s" \
+    | "$TMP/metricscheck" -range -
+
+echo "== /metrics/query (rate + quantile validated) =="
+curl -fsS "http://$ADDR/metrics/query?series=core.sampler.samples&fn=rate" \
+    | "$TMP/metricscheck" -query -
+curl -fsS "http://$ADDR/metrics/query?series=covert.ber&fn=quantile&q=0.95" \
+    | "$TMP/metricscheck" -query -
+
+echo "== top -once against the live server (sparklines from history) =="
 "$TMP/amperebleed" top -once -addr "$ADDR" >"$TMP/top-remote.txt"
 for panel in sampling leakage covert faults shards; do
     grep -q "$panel" "$TMP/top-remote.txt" \
         || { echo "FAIL: remote top frame lacks the $panel panel"; cat "$TMP/top-remote.txt"; exit 1; }
 done
+grep -q '^  hist ' "$TMP/top-remote.txt" \
+    || { echo "FAIL: remote top frame lacks sparkline hist lines"; cat "$TMP/top-remote.txt"; exit 1; }
 
 kill "$SERVER_PID" 2>/dev/null || true
 wait "$SERVER_PID" 2>/dev/null || true
