@@ -30,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"os"
 	"runtime"
 	"strings"
@@ -44,6 +46,7 @@ import (
 	"repro/internal/obs/olog"
 	"repro/internal/perf"
 	"repro/internal/report"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -262,7 +265,11 @@ func main() {
 		if err != nil {
 			fail(fmt.Errorf("parallel bench: %w", err))
 		}
-		arts = append(arts, makeArtifact(*exp, *seed, time.Since(repStart), pb))
+		sb, err := benchSpectrum(*seed)
+		if err != nil {
+			fail(fmt.Errorf("spectrum bench: %w", err))
+		}
+		arts = append(arts, makeArtifact(*exp, *seed, time.Since(repStart), pb, sb))
 	}
 
 	if *jsonOut != "" {
@@ -366,9 +373,63 @@ func benchParallel(seed int64, workers int) (*perf.ParallelBench, error) {
 	return pb, nil
 }
 
+// benchSpectrum times the spectral transform at the paper-scale shape —
+// a 5 s capture at the root-retuned 2 ms interval (10000 samples),
+// bins up to Nyquist (2500) — once through the production FFT path and
+// once through the Goertzel reference. It runs on a synthetic trace and
+// touches no simulation or obs state, so it cannot perturb the
+// deterministic-counter gate.
+func benchSpectrum(seed int64) (*perf.SpectrumBench, error) {
+	const (
+		samples = 10000
+		bins    = 2500
+	)
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{Interval: 2 * time.Millisecond, Samples: make([]float64, samples)}
+	for i := range tr.Samples {
+		tr.Samples[i] = 1.5 + math.Sin(2*math.Pi*7*float64(i)/samples) + 0.1*rng.NormFloat64()
+	}
+	timeIt := func(f func() error, minReps int, minWall time.Duration) (float64, error) {
+		if err := f(); err != nil { // warm scratch pools, page in code
+			return 0, err
+		}
+		reps := 0
+		start := time.Now()
+		for reps < minReps || time.Since(start) < minWall {
+			if err := f(); err != nil {
+				return 0, err
+			}
+			reps++
+		}
+		wall := time.Since(start).Seconds()
+		if wall <= 0 {
+			return 0, nil
+		}
+		return float64(bins) * float64(reps) / wall, nil
+	}
+	fftRate, err := timeIt(func() error { _, err := tr.Spectrum(bins); return err }, 10, 200*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	goertzelRate, err := timeIt(func() error { _, err := tr.SpectrumGoertzel(bins); return err }, 2, 200*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	sb := &perf.SpectrumBench{
+		Samples:            samples,
+		Bins:               bins,
+		GoertzelBinsPerSec: goertzelRate,
+		FFTBinsPerSec:      fftRate,
+	}
+	if goertzelRate > 0 {
+		sb.Speedup = fftRate / goertzelRate
+	}
+	return sb, nil
+}
+
 // makeArtifact snapshots the obs registry and derives the headline
 // throughput numbers the perf trajectory tracks.
-func makeArtifact(exp string, seed int64, wall time.Duration, pb *perf.ParallelBench) perf.Artifact {
+func makeArtifact(exp string, seed int64, wall time.Duration, pb *perf.ParallelBench, sb *perf.SpectrumBench) perf.Artifact {
 	snap := obs.Default.Snapshot()
 	art := perf.Artifact{
 		SchemaVersion: perf.SchemaVersion,
@@ -377,6 +438,7 @@ func makeArtifact(exp string, seed int64, wall time.Duration, pb *perf.ParallelB
 		WallSeconds:   wall.Seconds(),
 		SimTicks:      snap.Counter("sim.ticks"),
 		Parallel:      pb,
+		Spectrum:      sb,
 		Obs:           snap,
 	}
 	if wall > 0 {

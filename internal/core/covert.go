@@ -251,6 +251,10 @@ func covertOnce(ctx context.Context, cfg CovertConfig, seed int64, payloadBits i
 	if err != nil {
 		return nil, err
 	}
+	// One sample per sensor update across the frame, plus the top-up and
+	// padding margin below, so the capture loop never regrows the trace.
+	expect := len(frame) * cfg.SymbolUpdates
+	rec.Reserve(expect + expect/4 + 4)
 	if inj := b.FaultInjector(); inj != nil {
 		rec.SetPolicy(recorderHooks(attacker, rx, interval, b.Engine().Stream("backoff/covert")))
 		rec.SetFaults(inj.SamplerFaults("recorder/covert"))

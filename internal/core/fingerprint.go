@@ -253,6 +253,10 @@ func captureOne(ctx context.Context, cfg FingerprintConfig, modelName string, re
 		if err != nil {
 			return nil, err
 		}
+		// Size the trace for the nominal capture plus the top-up budget
+		// below, so the sampling loop never regrows the backing array.
+		expect := int((cfg.TraceDuration+interval)/interval) + 1
+		rec.Reserve(expect + expect/4 + 2)
 		if inj := b.FaultInjector(); inj != nil {
 			rec.SetPolicy(recorderHooks(attacker, ch, interval,
 				b.Engine().Stream(fmt.Sprintf("backoff/%s/%s", ch.Label, ch.Kind))))

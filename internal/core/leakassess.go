@@ -154,6 +154,7 @@ func collectRSACurrent(cfg LeakageConfig, tag string, exponent *big.Int) ([]floa
 	if err != nil {
 		return nil, err
 	}
+	rec.Reserve(cfg.SamplesPerSession + 1)
 	b.Run(200 * time.Millisecond)
 	rec.Reset()
 	b.Engine().MustRegister("recorder/tvla", rec)

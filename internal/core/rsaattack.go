@@ -241,6 +241,8 @@ func observeKey(cfg RSAConfig, weight int) (KeyObservation, error) {
 	if err != nil {
 		return KeyObservation{}, err
 	}
+	recCur.Reserve(cfg.Samples + 1)
+	recPow.Reserve(cfg.Samples + 1)
 	b.Run(cfg.Warmup)
 	recCur.Reset()
 	recPow.Reset()

@@ -57,6 +57,7 @@ func Survey(b *board.ZCU102, a *Attacker, duration time.Duration) ([]SurveyRow, 
 		if err != nil {
 			return nil, err
 		}
+		rec.Reserve(int(duration/interval) + 1)
 		recorders[i] = rec
 		if err := b.Engine().Register("survey/"+s.Label, rec); err != nil {
 			return nil, err

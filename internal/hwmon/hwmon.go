@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ina226"
@@ -105,18 +106,16 @@ func (s *Subsystem) Register(dev *ina226.Device) (*Entry, error) {
 	ro := func(show func() (string, error)) sysfs.Attr {
 		return sysfs.Attr{Mode: sysfs.ModeRO, Show: show}
 	}
+	labelStr := label + "\n"
 	attrs := map[string]sysfs.Attr{
 		"name":  ro(func() (string, error) { return DriverName + "\n", nil }),
-		"label": ro(func() (string, error) { return label + "\n", nil }),
-		"curr1_input": ro(func() (string, error) {
-			return formatMilli(dev.Read().CurrentAmps), nil
-		}),
-		"in1_input": ro(func() (string, error) {
-			return formatMilli(dev.Read().BusVolts), nil
-		}),
-		"power1_input": ro(func() (string, error) {
-			return formatMicro(dev.Read().PowerWatts), nil
-		}),
+		"label": ro(func() (string, error) { return labelStr, nil }),
+		// The measurement attributes are the attacker's polling targets;
+		// their renderings are cached per latched value (see cachedInt)
+		// so steady-state polling does not allocate.
+		"curr1_input":  ro(cachedMilli(func() float64 { return dev.Read().CurrentAmps })),
+		"in1_input":    ro(cachedMilli(func() float64 { return dev.Read().BusVolts })),
+		"power1_input": ro(cachedMicro(func() float64 { return dev.Read().PowerWatts })),
 		"shunt_resistor": ro(func() (string, error) {
 			return formatMicro(dev.ShuntOhms()), nil
 		}),
@@ -190,16 +189,15 @@ func (s *Subsystem) RegisterTemperature(label string, tempC func() float64) (*En
 	}
 	e := &Entry{Index: len(s.entries), Label: label}
 	e.Dir = fmt.Sprintf("%s/hwmon%d", ClassDir, e.Index)
+	labelStr := label + "\n"
 	attrs := map[string]sysfs.Attr{
 		"name": {Mode: sysfs.ModeRO, Show: func() (string, error) {
 			return TempDriverName + "\n", nil
 		}},
 		"label": {Mode: sysfs.ModeRO, Show: func() (string, error) {
-			return label + "\n", nil
+			return labelStr, nil
 		}},
-		"temp1_input": {Mode: sysfs.ModeRO, Show: func() (string, error) {
-			return formatMilli(tempC()), nil
-		}},
+		"temp1_input": {Mode: sysfs.ModeRO, Show: cachedMilli(tempC)},
 	}
 	e.attrs = attrs
 	for name, a := range attrs {
@@ -252,6 +250,43 @@ func formatMilli(v float64) string {
 // formatMicro renders a value in millionths, as hwmon reports µW and µΩ.
 func formatMicro(v float64) string {
 	return strconv.FormatInt(int64(roundHalfAway(v*1e6)), 10) + "\n"
+}
+
+// rendered is one immutable integer→string rendering, published whole
+// through an atomic pointer so concurrent readers always see a
+// consistent (value, text) pair.
+type rendered struct {
+	n int64
+	s string
+}
+
+// cachedInt returns a Show callback rendering scaled(v()) with a
+// trailing newline, reusing the previous string while the rounded
+// integer is unchanged. The INA226 latches registers once per update
+// interval (~70 simulation ticks at the default 35 ms), so the dozens
+// of polls in between re-read an identical value; caching makes those
+// reads allocation-free while producing byte-identical contents.
+func cachedInt(v func() float64, scale float64) func() (string, error) {
+	var cache atomic.Pointer[rendered]
+	return func() (string, error) {
+		n := int64(roundHalfAway(v() * scale))
+		if c := cache.Load(); c != nil && c.n == n {
+			return c.s, nil
+		}
+		c := &rendered{n: n, s: strconv.FormatInt(n, 10) + "\n"}
+		cache.Store(c)
+		return c.s, nil
+	}
+}
+
+// cachedMilli is cachedInt in thousandths (mA, mV, m°C).
+func cachedMilli(v func() float64) func() (string, error) {
+	return cachedInt(v, 1e3)
+}
+
+// cachedMicro is cachedInt in millionths (µW, µΩ).
+func cachedMicro(v func() float64) func() (string, error) {
+	return cachedInt(v, 1e6)
 }
 
 func roundHalfAway(v float64) float64 {

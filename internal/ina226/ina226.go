@@ -121,6 +121,13 @@ type Device struct {
 
 	// fault-injection hooks (optional; see SetFaults)
 	faults FaultHooks
+
+	// Cached dt→seconds conversion for the fixed-step tick loop. The
+	// engine steps with a constant dt, so the division in
+	// time.Duration.Seconds runs once instead of once per tick; reusing
+	// the cached value is bit-identical to recomputing it.
+	lastDt  time.Duration
+	lastSec float64
 }
 
 // New validates cfg and returns a device with all registers zero.
@@ -264,7 +271,10 @@ func (d *Device) Step(now, dt time.Duration) {
 	if d.nBus > 0 {
 		vBus += d.rng.NormFloat64() * d.nBus
 	}
-	sec := dt.Seconds()
+	if dt != d.lastDt {
+		d.lastDt, d.lastSec = dt, dt.Seconds()
+	}
+	sec := d.lastSec
 	d.accShunt += vShunt * sec
 	d.accBus += vBus * sec
 	d.accTime += dt
@@ -288,25 +298,27 @@ func (d *Device) latch() {
 		return
 	}
 
-	regs := LatchedRegs{
-		Shunt: clampReg(math.Round(meanShunt / ShuntLSB)),
-		Bus:   clampReg(math.Round(meanBus / BusLSB)),
-	}
-	if regs.Bus < 0 {
-		regs.Bus = 0 // bus ADC is unipolar
+	shunt := clampReg(math.Round(meanShunt / ShuntLSB))
+	bus := clampReg(math.Round(meanBus / BusLSB))
+	if bus < 0 {
+		bus = 0 // bus ADC is unipolar
 	}
 	// Datasheet: Current = ShuntReg * CAL / 2048 (integer pipeline).
-	regs.Current = int32(int64(regs.Shunt) * int64(d.cal) / 2048)
+	current := int32(int64(shunt) * int64(d.cal) / 2048)
 	// Datasheet: Power = CurrentReg * BusReg / 20000, LSB = 25*CurrentLSB.
-	regs.Power = int32(int64(regs.Current) * int64(regs.Bus) / 20000)
-	if regs.Power < 0 {
-		regs.Power = 0
+	power := int32(int64(current) * int64(bus) / 20000)
+	if power < 0 {
+		power = 0
 	}
 	if d.faults.CorruptLatch != nil {
+		// The LatchedRegs value is built (and escapes to the heap) only
+		// when a corrupt-latch hook is installed; the fault-free tick
+		// path stays allocation-free.
+		regs := LatchedRegs{Shunt: shunt, Bus: bus, Current: current, Power: power}
 		d.faults.CorruptLatch(&regs)
+		shunt, bus, current, power = regs.Shunt, regs.Bus, regs.Current, regs.Power
 	}
-	d.shuntReg, d.busReg, d.currentReg, d.powerReg =
-		regs.Shunt, regs.Bus, regs.Current, regs.Power
+	d.shuntReg, d.busReg, d.currentReg, d.powerReg = shunt, bus, current, power
 	d.updates++
 	obsConversions.Inc()
 	d.evaluateAlert()

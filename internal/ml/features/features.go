@@ -30,16 +30,31 @@ func Width(bins int) int { return bins + summaryWidth }
 // degrades to the all-zero vector instead of failing, so one dead
 // capture cannot poison a whole dataset.
 func FromTrace(t *trace.Trace, bins int) ([]float64, error) {
+	vec, err := fromTrace(t, bins, Width(bins))
+	if err != nil {
+		return nil, err
+	}
+	return vec[:Width(bins)], nil
+}
+
+// fromTrace builds the FromTrace vector in a single allocation of
+// width total (total >= Width(bins)), leaving any extra tail zeroed for
+// the caller to fill. The resampled bins land in vec[:bins] via
+// ResampleInto, so no intermediate slice is allocated.
+func fromTrace(t *trace.Trace, bins, total int) ([]float64, error) {
 	if t == nil {
 		return nil, errors.New("features: nil trace")
 	}
-	vec, err := t.Resample(bins)
-	if err != nil {
+	if bins <= 0 {
+		return nil, errors.New("trace: non-positive bin count")
+	}
+	vec := make([]float64, total)
+	if err := t.ResampleInto(vec[:bins]); err != nil {
 		return nil, err
 	}
 	finite := t.Finite()
 	if len(finite) == 0 {
-		return append(vec, make([]float64, summaryWidth)...), nil
+		return vec, nil // all samples lost: zero statistics
 	}
 	mean, err := stats.Mean(finite)
 	if err != nil {
@@ -53,7 +68,13 @@ func FromTrace(t *trace.Trace, bins int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(vec, mean, std, sum.Min, sum.Max, sum.Q1, sum.Q3), nil
+	vec[bins] = mean
+	vec[bins+1] = std
+	vec[bins+2] = sum.Min
+	vec[bins+3] = sum.Max
+	vec[bins+4] = sum.Q1
+	vec[bins+5] = sum.Q3
+	return vec, nil
 }
 
 // WidthWithSpectrum returns the feature width when spectral bins are
@@ -65,9 +86,14 @@ func WidthWithSpectrum(bins, spectralBins int) int {
 // FromTraceWithSpectrum extends FromTrace with the magnitudes of the
 // first spectralBins DFT coefficients — a phase-invariant encoding of
 // the victim's loop periodicity. spectralBins of zero degenerates to
-// FromTrace.
+// FromTrace. The vector is always WidthWithSpectrum wide: if Spectrum
+// clamps the bin count at the trace's Nyquist limit, the missing tail
+// stays zero so short traces keep the dataset width consistent.
 func FromTraceWithSpectrum(t *trace.Trace, bins, spectralBins int) ([]float64, error) {
-	vec, err := FromTrace(t, bins)
+	if spectralBins < 0 {
+		return nil, errors.New("features: negative spectral bins")
+	}
+	vec, err := fromTrace(t, bins, WidthWithSpectrum(bins, spectralBins))
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +104,8 @@ func FromTraceWithSpectrum(t *trace.Trace, bins, spectralBins int) ([]float64, e
 	if err != nil {
 		return nil, err
 	}
-	return append(vec, mags...), nil
+	copy(vec[Width(bins):], mags)
+	return vec, nil
 }
 
 // Dataset is a labelled feature matrix.

@@ -39,7 +39,13 @@ type DropModel struct {
 // Drop returns V_drop for a present current i, previous current prev, and
 // step dt (Equation 1). dt must be positive.
 func (m DropModel) Drop(i, prev float64, dt time.Duration) float64 {
-	didt := (i - prev) / dt.Seconds()
+	return m.dropSec(i, prev, dt.Seconds())
+}
+
+// dropSec is Drop with the step already converted to seconds, so the
+// fixed-step tick loop can reuse a cached conversion.
+func (m DropModel) dropSec(i, prev, sec float64) float64 {
+	didt := (i - prev) / sec
 	return i*m.ResistanceOhm + m.InductanceHenry*didt
 }
 
@@ -99,6 +105,12 @@ type Regulator struct {
 	prevCurrent float64
 	lastDrop    float64 // raw (pre-clamp) drop of the last tick, for tests
 
+	// Cached dt→seconds conversion: the engine steps with a constant
+	// dt, so the division inside time.Duration.Seconds runs once, not
+	// once per tick. Reuse is bit-identical to recomputing.
+	lastDt  time.Duration
+	lastSec float64
+
 	// disturb, when set, returns an additive output-voltage offset for
 	// the current tick — the fault-injection layer's regulator
 	// transient (load step, VRM phase glitch). The offset is added on
@@ -151,7 +163,10 @@ func (r *Regulator) SetDisturbance(f func(now time.Duration) float64) { r.distur
 // Step implements sim.Steppable.
 func (r *Regulator) Step(now, dt time.Duration) {
 	i := r.rail.Current()
-	r.lastDrop = r.drop.Drop(i, r.prevCurrent, dt)
+	if dt != r.lastDt {
+		r.lastDt, r.lastSec = dt, dt.Seconds()
+	}
+	r.lastDrop = r.drop.dropSec(i, r.prevCurrent, r.lastSec)
 	r.prevCurrent = i
 
 	var transient float64

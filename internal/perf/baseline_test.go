@@ -1,0 +1,45 @@
+package perf
+
+import (
+	"errors"
+	"io/fs"
+	"testing"
+)
+
+// TestCommittedBaselinesNoDrift cross-checks the two committed perf
+// artifacts: BENCH_PR10.json (FFT spectrum + allocation-free tick loop)
+// against BENCH_PR4.json (the original baseline). The deterministic
+// counters must be byte-clean — the performance work is required to
+// change how fast the simulation runs, never what it computes. Running
+// the check as a plain unit test puts it in tier-1, so a drift is
+// caught by `go test ./...` without waiting for the CI perf job.
+func TestCommittedBaselinesNoDrift(t *testing.T) {
+	baseline, err := ReadFile("../../BENCH_PR4.json")
+	if err != nil {
+		t.Fatalf("read BENCH_PR4.json: %v", err)
+	}
+	current, err := ReadFile("../../BENCH_PR10.json")
+	if errors.Is(err, fs.ErrNotExist) {
+		t.Skip("BENCH_PR10.json not committed yet")
+	}
+	if err != nil {
+		t.Fatalf("read BENCH_PR10.json: %v", err)
+	}
+	cmp, err := Compare(baseline, current, 0)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	for _, d := range cmp.Drift {
+		t.Errorf("deterministic counter drift: %s baseline=%s current=%s", d.Name, d.Baseline, d.Current)
+	}
+
+	// The PR10 artifact must also carry the spectrum micro-benchmark
+	// with the promised ≥2× FFT-over-Goertzel speedup at paper scale.
+	sb := current[0].Spectrum
+	if sb == nil {
+		t.Fatal("BENCH_PR10.json has no spectrum micro-benchmark section")
+	}
+	if sb.Speedup < 2 {
+		t.Errorf("spectrum FFT speedup %.2fx over Goertzel, want >= 2x", sb.Speedup)
+	}
+}

@@ -36,7 +36,9 @@ import (
 //
 //	1 — benchtab's original unversioned artifact (no schema_version).
 //	2 — schema_version field added; artifact moved to internal/perf.
-const SchemaVersion = 2
+//	3 — spectrum micro-benchmark section added (additive; older
+//	    artifacts simply lack the "spectrum" key and its rates).
+const SchemaVersion = 3
 
 // ParallelBench compares the sharded runner against the serial path on
 // the cross-board applicability sweep: the same shard set executed with
@@ -55,6 +57,24 @@ type ParallelBench struct {
 	// single-CPU host this hovers near 1.0; it only reflects the
 	// hardware the artifact was produced on, so it is reported, never
 	// asserted.
+	Speedup float64 `json:"speedup"`
+}
+
+// SpectrumBench measures spectral-transform throughput at a paper-scale
+// shape (a 5 s capture at the root-retuned 2 ms interval, bins up to
+// Nyquist): the production FFT path against the per-bin Goertzel
+// reference over the identical trace. Both are pure math on synthetic
+// data — the measurement touches no simulation state, so it cannot
+// perturb the deterministic counters.
+type SpectrumBench struct {
+	// Samples and Bins describe the benchmarked transform shape.
+	Samples int `json:"samples"`
+	Bins    int `json:"bins"`
+	// GoertzelBinsPerSec is the reference throughput (bins/second).
+	GoertzelBinsPerSec float64 `json:"goertzel_bins_per_sec"`
+	// FFTBinsPerSec is the production Spectrum throughput (bins/second).
+	FFTBinsPerSec float64 `json:"fft_bins_per_sec"`
+	// Speedup is FFTBinsPerSec / GoertzelBinsPerSec.
 	Speedup float64 `json:"speedup"`
 }
 
@@ -80,6 +100,8 @@ type Artifact struct {
 	SampleRate obs.HistogramStat `json:"attacker_sample_rate_hz"`
 	// Parallel is the serial-vs-parallel cross-board sweep comparison.
 	Parallel *ParallelBench `json:"parallel,omitempty"`
+	// Spectrum is the FFT-vs-Goertzel spectral throughput micro-bench.
+	Spectrum *SpectrumBench `json:"spectrum,omitempty"`
 	// Obs is the full metrics snapshot.
 	Obs obs.Snapshot `json:"obs"`
 }
@@ -161,6 +183,10 @@ func (a *Artifact) Rates() map[string]float64 {
 	if a.Parallel != nil {
 		out["serial_ticks_per_sec"] = a.Parallel.SerialTicksPerSec
 		out["parallel_ticks_per_sec"] = a.Parallel.ParallelTicksPerSec
+	}
+	if a.Spectrum != nil {
+		out["spectrum_fft_bins_per_sec"] = a.Spectrum.FFTBinsPerSec
+		out["spectrum_goertzel_bins_per_sec"] = a.Spectrum.GoertzelBinsPerSec
 	}
 	return out
 }

@@ -226,6 +226,7 @@ var goldenSchema = []string{
 	"sim_wall_ratio",
 	"attacker_sample_rate_hz",
 	"parallel",
+	"spectrum",
 	"obs",
 }
 

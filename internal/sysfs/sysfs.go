@@ -19,7 +19,7 @@ import (
 	"path"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -68,6 +68,14 @@ type node struct {
 	name     string
 	attr     *Attr            // nil for directories
 	children map[string]*node // nil for files
+
+	// readCtr caches this attribute's per-basename read counter
+	// ("sysfs.reads.curr1_input", ...). It is registered lazily on the
+	// first successful read — keeping the metric absent until the
+	// attribute is actually read, as before — and cached on the node so
+	// the hot read path does one atomic load instead of a map lookup
+	// (whose interface-boxed string key allocated on every read).
+	readCtr atomic.Pointer[obs.Counter]
 }
 
 func (n *node) isDir() bool { return n.attr == nil }
@@ -85,11 +93,8 @@ type FS struct {
 
 	// Read-side observability: every attacker measurement is a sysfs
 	// read, so these counters are the ground truth of how much sensor
-	// data the unprivileged side actually obtained. attrReads caches
-	// per-attribute-basename counters ("sysfs.reads.curr1_input", ...)
-	// so the hot read path does one sync.Map load instead of a registry
-	// lookup.
-	attrReads  sync.Map // basename -> *obs.Counter
+	// data the unprivileged side actually obtained. Per-attribute
+	// counters live on the nodes themselves (see node.readCtr).
 	obsReads   *obs.Counter
 	obsBytes   *obs.Counter
 	obsDenied  *obs.Counter
@@ -129,17 +134,19 @@ func (f *FS) injectReadFault(p string) error {
 	return nil
 }
 
-// countRead records one successful attribute read of n bytes.
-func (f *FS) countRead(p string, n int) {
+// countRead records one successful read of size bytes from attribute
+// node n. The per-basename counter is resolved through the global
+// registry once per node and cached; obs.C is idempotent, so a racing
+// first read on two nodes with the same basename lands on the same
+// counter.
+func (f *FS) countRead(n *node, size int) {
 	f.obsReads.Inc()
-	f.obsBytes.Add(int64(n))
-	base := path.Base(p)
-	if c, ok := f.attrReads.Load(base); ok {
-		c.(*obs.Counter).Inc()
-		return
+	f.obsBytes.Add(int64(size))
+	c := n.readCtr.Load()
+	if c == nil {
+		c = obs.C("sysfs.reads." + n.name)
+		n.readCtr.Store(c)
 	}
-	c := obs.C("sysfs.reads." + base)
-	f.attrReads.Store(base, c)
 	c.Inc()
 }
 
@@ -159,7 +166,47 @@ func splitPath(p string) ([]string, error) {
 	return strings.Split(clean, "/"), nil
 }
 
+// resolveFast walks a path that is already in canonical relative form —
+// no leading slash, no empty/"."/".." segments — without allocating.
+// That covers every hot-loop read path the probes use (e.g.
+// "class/hwmon/hwmon0/curr1_input"). It reports false whenever the walk
+// cannot be completed losslessly (path needs cleaning, component
+// missing, file in the middle), letting the caller fall back to the
+// slow path for canonicalization and error reporting.
+func (f *FS) resolveFast(p string) (*node, bool) {
+	if p == "" || p[0] == '/' {
+		return nil, false
+	}
+	n := f.root
+	for start := 0; start <= len(p); {
+		end := strings.IndexByte(p[start:], '/')
+		var seg string
+		if end < 0 {
+			seg = p[start:]
+			start = len(p) + 1
+		} else {
+			seg = p[start : start+end]
+			start += end + 1
+		}
+		if seg == "" || seg == "." || seg == ".." {
+			return nil, false // needs path.Clean / escape check
+		}
+		if !n.isDir() {
+			return nil, false // slow path produces the canonical error
+		}
+		child, ok := n.children[seg]
+		if !ok {
+			return nil, false
+		}
+		n = child
+	}
+	return n, true
+}
+
 func (f *FS) resolve(p string) (*node, error) {
+	if n, ok := f.resolveFast(p); ok {
+		return n, nil
+	}
 	parts, err := splitPath(p)
 	if err != nil {
 		return nil, err
@@ -293,7 +340,7 @@ func (f *FS) ReadFile(c Cred, p string) (string, error) {
 	}
 	out, err := n.attr.Show()
 	if err == nil {
-		f.countRead(p, len(out))
+		f.countRead(n, len(out))
 	}
 	return out, err
 }
@@ -393,7 +440,7 @@ func (v *view) Open(name string) (fs.File, error) {
 	if err != nil {
 		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
 	}
-	v.fsys.countRead(name, len(content))
+	v.fsys.countRead(n, len(content))
 	return &attrFile{node: n, Reader: bytes.NewReader([]byte(content))}, nil
 }
 

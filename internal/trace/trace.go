@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -103,21 +104,56 @@ func (t *Trace) Prefix(d time.Duration) (*Trace, error) {
 	return &Trace{Interval: t.Interval, Samples: t.Samples[:n]}, nil
 }
 
+// countsPool recycles the per-bin hit-count scratch used by
+// ResampleInto. The counts never leave the function, so pooling them is
+// safe; the output vector itself is caller-owned and never pooled.
+var countsPool = sync.Pool{New: func() any { return new([]int) }}
+
 // Resample average-pools the trace into exactly n bins, the fixed-width
 // representation fed to the classifier. Each bin is the mean of the
 // finite samples mapped into it; NaN gaps are treated as missing data,
 // and bins left empty by gaps or by having more bins than samples are
 // filled from their neighbours so the vector stays piecewise constant.
 // A trace whose samples are all gaps resamples to the zero vector.
+//
+// The returned slice is freshly allocated and never aliases internal
+// scratch; mutating it cannot affect later Resample calls.
 func (t *Trace) Resample(n int) ([]float64, error) {
 	if n <= 0 {
 		return nil, errors.New("trace: non-positive bin count")
 	}
-	if len(t.Samples) == 0 {
-		return nil, errors.New("trace: empty trace")
-	}
 	out := make([]float64, n)
-	counts := make([]int, n)
+	if err := t.ResampleInto(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ResampleInto is Resample writing into a caller-supplied vector of
+// len(dst) bins — the allocation-free path for feature extractors that
+// assemble resampled bins and summary statistics into one preallocated
+// feature vector. dst is fully overwritten.
+func (t *Trace) ResampleInto(dst []float64) error {
+	n := len(dst)
+	if n <= 0 {
+		return errors.New("trace: non-positive bin count")
+	}
+	if len(t.Samples) == 0 {
+		return errors.New("trace: empty trace")
+	}
+	out := dst
+	for i := range out {
+		out[i] = 0
+	}
+	cp := countsPool.Get().(*[]int)
+	defer countsPool.Put(cp)
+	if cap(*cp) < n {
+		*cp = make([]int, n)
+	}
+	counts := (*cp)[:n]
+	for i := range counts {
+		counts[i] = 0
+	}
 	for i, s := range t.Samples {
 		if IsGap(s) {
 			continue
@@ -140,13 +176,13 @@ func (t *Trace) Resample(n int) ([]float64, error) {
 		}
 	}
 	if first < 0 {
-		return out, nil // every sample lost: degrade to the zero vector
+		return nil // every sample lost: degrade to the zero vector
 	}
 	// Back-fill bins before the first informative one (leading gaps).
 	for i := 0; i < first; i++ {
 		out[i] = out[first]
 	}
-	return out, nil
+	return nil
 }
 
 // ErrChannelDead is the sticky recorder error raised when the channel
@@ -269,6 +305,10 @@ type Recorder struct {
 
 	dropoutLeft int
 	consecGaps  int
+
+	// reserve is the expected sample count; Reserve sizes the trace's
+	// backing array once so the capture loop never regrows it.
+	reserve int
 }
 
 // NewRecorder returns a recorder polling probe every interval.
@@ -299,6 +339,21 @@ func (r *Recorder) SetPolicy(p *RetryPolicy) {
 
 // SetFaults installs the scheduler fault hook; nil removes it.
 func (r *Recorder) SetFaults(f SampleFaults) { r.faults = f }
+
+// Reserve preallocates capacity for n samples so the append in the
+// capture loop never regrows the backing array mid-run. The hint
+// persists across Reset. Non-positive n is a no-op.
+func (r *Recorder) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	r.reserve = n
+	if cap(r.trace.Samples)-len(r.trace.Samples) < n {
+		grown := make([]float64, len(r.trace.Samples), len(r.trace.Samples)+n)
+		copy(grown, r.trace.Samples)
+		r.trace.Samples = grown
+	}
+}
 
 // Step implements sim.Steppable.
 func (r *Recorder) Step(now, dt time.Duration) {
@@ -413,6 +468,9 @@ func (r *Recorder) Trace() (*Trace, error) { return r.trace, r.err }
 // configuration; used between victim runs.
 func (r *Recorder) Reset() {
 	r.trace = &Trace{Interval: r.interval}
+	if r.reserve > 0 {
+		r.trace.Samples = make([]float64, 0, r.reserve)
+	}
 	r.elapsed = 0
 	r.err = nil
 	r.pending = false
